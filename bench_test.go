@@ -1,0 +1,324 @@
+package ppchecker
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one benchmark per artifact) and adds ablation
+// benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the experiment outcomes (counts,
+// precision/recall) so `go test -bench` output doubles as the
+// reproduction record.
+
+import (
+	"sync"
+	"testing"
+
+	"ppchecker/internal/apg"
+	"ppchecker/internal/autoppg"
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/eval"
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/static"
+	"ppchecker/internal/synth"
+	"ppchecker/internal/taint"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *synth.Dataset
+)
+
+// paperCorpus builds the 1,197-app corpus once for all benchmarks.
+func paperCorpus(b *testing.B) *synth.Dataset {
+	b.Helper()
+	corpusOnce.Do(func() {
+		ds, err := synth.Generate(synth.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus = ds
+	})
+	return corpus
+}
+
+// BenchmarkFig12PatternSelection regenerates Fig. 12: mining, ranking,
+// and sweeping the pattern count.
+func BenchmarkFig12PatternSelection(b *testing.B) {
+	data := synth.GenerateFig12(synth.DefaultFig12Config())
+	b.ResetTimer()
+	var r *eval.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = eval.RunFig12(data)
+	}
+	b.ReportMetric(float64(r.BestN), "selected-n")
+	b.ReportMetric(100*r.BestFN, "fn-rate-%")
+	b.ReportMetric(100*r.BestFP, "fp-rate-%")
+}
+
+// BenchmarkTableIIIIncompleteByDescription regenerates Table III.
+func BenchmarkTableIIIIncompleteByDescription(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var apps int
+	for i := 0; i < b.N; i++ {
+		res := eval.EvaluateCorpus(ds)
+		apps = 0
+		for _, row := range res.TableIII() {
+			apps += row.Apps
+		}
+	}
+	b.ReportMetric(float64(apps), "perm-records")
+}
+
+// BenchmarkFig13MissedInfoDistribution regenerates Fig. 13.
+func BenchmarkFig13MissedInfoDistribution(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var records int
+	for i := 0; i < b.N; i++ {
+		res := eval.EvaluateCorpus(ds)
+		records = 0
+		for _, row := range res.Fig13() {
+			records += row.Records
+		}
+	}
+	b.ReportMetric(float64(records), "missed-records")
+}
+
+// BenchmarkTableIVInconsistency regenerates Table IV.
+func BenchmarkTableIVInconsistency(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var tab eval.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = eval.EvaluateCorpus(ds).ComputeTableIV()
+	}
+	b.ReportMetric(100*tab.CUR.Precision(), "cur-precision-%")
+	b.ReportMetric(100*tab.CUR.Recall(), "cur-recall-%")
+	b.ReportMetric(100*tab.Disclose.Precision(), "disclose-precision-%")
+	b.ReportMetric(100*tab.Disclose.Recall(), "disclose-recall-%")
+}
+
+// BenchmarkIncorrectPolicies regenerates the §V-D incorrect-policy
+// findings.
+func BenchmarkIncorrectPolicies(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var s eval.SummaryStats
+	for i := 0; i < b.N; i++ {
+		s = eval.EvaluateCorpus(ds).Summary()
+	}
+	b.ReportMetric(float64(s.IncorrectApps), "verified-incorrect")
+	b.ReportMetric(float64(s.DetectedIncorrect), "detected-incorrect")
+}
+
+// BenchmarkSummary regenerates the §V-F corpus summary.
+func BenchmarkSummary(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var s eval.SummaryStats
+	for i := 0; i < b.N; i++ {
+		s = eval.EvaluateCorpus(ds).Summary()
+	}
+	b.ReportMetric(float64(s.AppsWithProblem), "apps-with-problem")
+	b.ReportMetric(100*float64(s.AppsWithProblem)/float64(s.NumApps), "problem-rate-%")
+}
+
+// --- ablation benches: design choices DESIGN.md calls out ---
+
+// benchAblationStatic measures raw code-incomplete detections under a
+// static-analysis option variation; more raw detections than the
+// paper's 195 means extra false positives.
+func benchAblationStatic(b *testing.B, mutate func(*static.Options)) float64 {
+	b.Helper()
+	ds := paperCorpus(b)
+	opts := static.DefaultOptions()
+	mutate(&opts)
+	b.ResetTimer()
+	var raw int
+	for i := 0; i < b.N; i++ {
+		res := eval.EvaluateCorpus(ds, core.WithStaticOptions(opts))
+		raw = res.Summary().DetectedViaCode
+	}
+	return float64(raw)
+}
+
+// BenchmarkAblationReachability turns off the entry-point reachability
+// filter: unreachable sensitive calls are then counted, inflating raw
+// detections.
+func BenchmarkAblationReachability(b *testing.B) {
+	raw := benchAblationStatic(b, func(o *static.Options) { o.Reachability = false })
+	b.ReportMetric(raw, "raw-code-detections")
+}
+
+// BenchmarkAblationURIs turns off content-provider URI analysis (the
+// paper's delta over Slavin et al.): URI-only collections vanish,
+// deflating detections.
+func BenchmarkAblationURIs(b *testing.B) {
+	raw := benchAblationStatic(b, func(o *static.Options) { o.URIAnalysis = false })
+	b.ReportMetric(raw, "raw-code-detections")
+}
+
+// BenchmarkAblationEdgeMiner turns off implicit callback edges:
+// callback-only code becomes unreachable.
+func BenchmarkAblationEdgeMiner(b *testing.B) {
+	raw := benchAblationStatic(b, func(o *static.Options) { o.APG.EdgeMiner = false })
+	b.ReportMetric(raw, "raw-code-detections")
+}
+
+// BenchmarkAblationDisclaimer turns off the §IV-C disclaimer rule: the
+// disclaimer-suppressed conflicts resurface as inconsistency FPs.
+func BenchmarkAblationDisclaimer(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var tab eval.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = eval.EvaluateCorpus(ds, core.WithDisclaimerHandling(false)).ComputeTableIV()
+	}
+	b.ReportMetric(float64(tab.CUR.FP), "cur-fp")
+	b.ReportMetric(100*tab.CUR.Precision(), "cur-precision-%")
+}
+
+// BenchmarkAblationESAThreshold sweeps the similarity threshold around
+// the paper's 0.67 and reports the inconsistency metrics at a stricter 0.85: paraphrased resources stop matching and recall drops.
+func BenchmarkAblationESAThreshold(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var tab eval.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = eval.EvaluateCorpus(ds, core.WithESAThreshold(0.85)).ComputeTableIV()
+	}
+	b.ReportMetric(100*tab.CUR.Precision(), "cur-precision-at-0.85-%")
+	b.ReportMetric(100*tab.CUR.Recall(), "cur-recall-at-0.85-%")
+}
+
+// --- extension benches: the paper's §VI future-work items ---
+
+// BenchmarkExtensionSynonymVerbs enables synonym verb expansion: the
+// planted verb-gap false negatives ("check", "display" denials) become
+// detectable and recall reaches 100%.
+func BenchmarkExtensionSynonymVerbs(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var tab eval.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = eval.EvaluateCorpus(ds, core.WithSynonymExpansion()).ComputeTableIV()
+	}
+	b.ReportMetric(100*tab.CUR.Recall(), "cur-recall-%")
+	b.ReportMetric(100*tab.Disclose.Recall(), "disclose-recall-%")
+	b.ReportMetric(float64(tab.CUR.FN+tab.Disclose.FN), "remaining-fn")
+}
+
+// BenchmarkExtensionConstraints enables consent-constraint modelling
+// and verifies the paper numbers are unaffected on this corpus (no
+// consent-exception sentences are planted) while the feature runs.
+func BenchmarkExtensionConstraints(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var tab eval.TableIV
+	for i := 0; i < b.N; i++ {
+		tab = eval.EvaluateCorpus(ds, core.WithConstraintAnalysis()).ComputeTableIV()
+	}
+	b.ReportMetric(100*tab.CUR.Precision(), "cur-precision-%")
+	b.ReportMetric(100*tab.CUR.Recall(), "cur-recall-%")
+}
+
+// --- microbenchmarks of the substrates ---
+
+// BenchmarkCheckSingleApp measures one end-to-end Check call.
+func BenchmarkCheckSingleApp(b *testing.B) {
+	ds := paperCorpus(b)
+	app := ds.Apps[0].App
+	checker := core.NewChecker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.Check(app)
+	}
+}
+
+// BenchmarkPolicyAnalysis measures the six-step policy pipeline on one
+// generated policy.
+func BenchmarkPolicyAnalysis(b *testing.B) {
+	ds := paperCorpus(b)
+	html := ds.Apps[0].App.PolicyHTML
+	a := policy.NewAnalyzer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AnalyzeHTML(html)
+	}
+}
+
+// BenchmarkDependencyParse measures the rule-based parser.
+func BenchmarkDependencyParse(b *testing.B) {
+	sentence := "we will provide your information to third party companies to improve service"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nlp.ParseSentence(sentence)
+	}
+}
+
+// BenchmarkESASimilarity measures one similarity query.
+func BenchmarkESASimilarity(b *testing.B) {
+	x := esa.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Similarity("location information", "your current location")
+	}
+}
+
+// BenchmarkAPGBuild measures Android-property-graph construction.
+func BenchmarkAPGBuild(b *testing.B) {
+	ds := paperCorpus(b)
+	a := ds.Apps[0].App.APK
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apg.Build(a, apg.DefaultOptions())
+	}
+}
+
+// BenchmarkTaintAnalysis measures the taint engine on one app.
+func BenchmarkTaintAnalysis(b *testing.B) {
+	ds := paperCorpus(b)
+	a := ds.Apps[2].App.APK // the easyxapp-style app has a real flow
+	p := apg.Build(a, apg.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		taint.Analyze(p)
+	}
+}
+
+// BenchmarkCorpusGeneration measures dataset generation itself.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoPPGGenerate measures policy generation (the companion
+// AutoPPG system) for one app.
+func BenchmarkAutoPPGGenerate(b *testing.B) {
+	ds := paperCorpus(b)
+	a := ds.Apps[0].App.APK
+	opts := autoppg.DefaultOptions()
+	opts.Description = ds.Apps[0].App.Description
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		autoppg.Generate(a, opts)
+	}
+}
+
+// BenchmarkSummaryParallel measures the worker-pool corpus evaluation.
+func BenchmarkSummaryParallel(b *testing.B) {
+	ds := paperCorpus(b)
+	b.ResetTimer()
+	var s eval.SummaryStats
+	for i := 0; i < b.N; i++ {
+		s = eval.EvaluateCorpusParallel(ds, 0).Summary()
+	}
+	b.ReportMetric(float64(s.AppsWithProblem), "apps-with-problem")
+}

@@ -1,0 +1,69 @@
+// Command autoppg generates a privacy policy from an app package (the
+// paper authors' companion system, reimplemented over this library):
+//
+//	autoppg -app corpus/apps/com.example.app            # uses the bundle's description
+//	autoppg -apk app.apk -o policy.html
+//
+// The generated policy declares what the static analysis proves the
+// app collects and retains, plus its bundled third-party libraries.
+// Feeding it back through cmd/ppchecker yields no findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/autoppg"
+	"ppchecker/internal/bundle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autoppg: ")
+	var (
+		appDir  = flag.String("app", "", "app bundle directory (policy regenerated from app.apk + description.txt)")
+		apkPath = flag.String("apk", "", "bare APK file")
+		out     = flag.String("o", "", "output file (default stdout)")
+		noLibs  = flag.Bool("nolibs", false, "omit the third-party section")
+	)
+	flag.Parse()
+
+	opts := autoppg.DefaultOptions()
+	opts.IncludeLibs = !*noLibs
+	var a *apk.APK
+	switch {
+	case *appDir != "":
+		app, err := bundle.ReadApp(*appDir, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		a = app.APK
+		opts.Description = app.Description
+	case *apkPath != "":
+		data, err := os.ReadFile(*apkPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err = apk.Decode(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	policy := autoppg.Generate(a, opts)
+	if *out == "" {
+		fmt.Print(policy)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(policy), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s for %s\n", filepath.Clean(*out), a.Manifest.Package)
+}

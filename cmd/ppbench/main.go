@@ -1,0 +1,96 @@
+// Command ppbench regenerates every table and figure of the paper's
+// evaluation (§V) against the synthetic corpus and prints them:
+//
+//	ppbench -all
+//	ppbench -fig12 -table4
+//	ppbench -apps 600 -seed 7 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ppchecker/internal/eval"
+	"ppchecker/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppbench: ")
+	var (
+		all     = flag.Bool("all", false, "run every experiment")
+		fig12   = flag.Bool("fig12", false, "pattern-selection sweep (Fig. 12)")
+		table3  = flag.Bool("table3", false, "incomplete via description (Table III)")
+		fig13   = flag.Bool("fig13", false, "missed-information distribution (Fig. 13)")
+		table4  = flag.Bool("table4", false, "inconsistency metrics (Table IV)")
+		recall  = flag.Bool("recall", false, "200-app recall sample (§V-E)")
+		sweep   = flag.Bool("sweep", false, "ESA threshold sensitivity sweep")
+		csvPath = flag.String("csv", "", "write the Fig. 12 sweep as CSV to this file")
+		summary = flag.Bool("summary", false, "corpus summary (§V-F)")
+		apps    = flag.Int("apps", synth.PaperNumApps, "corpus size")
+		seed    = flag.Int64("seed", synth.DefaultConfig().Seed, "corpus seed")
+	)
+	flag.Parse()
+	if *all {
+		*fig12, *table3, *fig13, *table4, *recall, *sweep, *summary = true, true, true, true, true, true, true
+	}
+	if !*fig12 && !*table3 && !*fig13 && !*table4 && !*recall && !*sweep && !*summary {
+		*summary = true
+	}
+
+	if *fig12 {
+		start := time.Now()
+		data := synth.GenerateFig12(synth.DefaultFig12Config())
+		r := eval.RunFig12(data)
+		fmt.Print(eval.RenderFig12(r, 20))
+		fmt.Printf("(pattern experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote Fig. 12 sweep to %s\n\n", *csvPath)
+		}
+	}
+
+	if *table3 || *fig13 || *table4 || *recall || *sweep || *summary {
+		start := time.Now()
+		ds, err := synth.Generate(synth.Config{Seed: *seed, NumApps: *apps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		genTime := time.Since(start)
+		start = time.Now()
+		res := eval.EvaluateCorpus(ds)
+		fmt.Printf("corpus: %d apps generated in %v, analyzed in %v\n\n",
+			*apps, genTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+		if *table3 {
+			fmt.Println(eval.RenderTableIII(res.TableIII()))
+		}
+		if *fig13 {
+			fmt.Println(eval.RenderFig13(res.Fig13()))
+		}
+		if *table4 {
+			fmt.Println(eval.RenderTableIV(res.ComputeTableIV()))
+		}
+		if *recall {
+			fmt.Println(res.RunRecallSample(2016, 200).Render())
+		}
+		if *sweep {
+			fmt.Println(eval.RenderThresholdSweep(eval.RunThresholdSweep(ds, eval.DefaultThresholds())))
+		}
+		if *summary {
+			fmt.Println("Summary (paper §V-F):")
+			fmt.Print(res.Summary().Render())
+		}
+	}
+}

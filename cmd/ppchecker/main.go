@@ -1,0 +1,103 @@
+// Command ppchecker analyzes one app bundle and reports problems in
+// its privacy policy. The bundle layout matches cmd/ppgen's output:
+//
+//	ppchecker -app corpus/apps/com.example.app -libs corpus/libs
+//
+// The app directory must contain policy.html, description.txt, and
+// app.apk; libs.txt (optional) names the bundled libraries whose
+// policies are read from the -libs directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppchecker"
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppchecker: ")
+	var (
+		appDir   = flag.String("app", "", "app bundle directory (required)")
+		libsDir  = flag.String("libs", "", "directory of third-party library policies")
+		verbose  = flag.Bool("v", false, "also print the intermediate analyses")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		htmlPath = flag.String("html", "", "also write an HTML report to this file")
+	)
+	flag.Parse()
+	if *appDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	app, err := bundle.ReadApp(*appDir, *libsDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := ppchecker.Check(app)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Summary())
+		if *verbose {
+			printDetails(rep)
+		}
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteHTML(f, rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.HasProblem() {
+		os.Exit(1)
+	}
+}
+
+func printDetails(r *ppchecker.Report) {
+	fmt.Println("--- policy analysis ---")
+	fmt.Printf("collect:      %v\n", r.Policy.Collect)
+	fmt.Printf("use:          %v\n", r.Policy.Use)
+	fmt.Printf("retain:       %v\n", r.Policy.Retain)
+	fmt.Printf("disclose:     %v\n", r.Policy.Disclose)
+	fmt.Printf("not collect:  %v\n", r.Policy.NotCollect)
+	fmt.Printf("not use:      %v\n", r.Policy.NotUse)
+	fmt.Printf("not retain:   %v\n", r.Policy.NotRetain)
+	fmt.Printf("not disclose: %v\n", r.Policy.NotDisclose)
+	fmt.Printf("disclaimer:   %v\n", r.Policy.Disclaimer)
+	if r.Desc != nil {
+		fmt.Println("--- description analysis ---")
+		fmt.Printf("permissions: %v\n", r.Desc.Permissions)
+		fmt.Printf("information: %v\n", r.Desc.Infos)
+	}
+	if r.Static != nil {
+		fmt.Println("--- static analysis ---")
+		fmt.Printf("collected: %v\n", r.Static.CollectedInfo())
+		fmt.Printf("retained:  %v\n", r.Static.RetainedInfo())
+		fmt.Printf("lib code collects: %v\n", r.Static.LibCollectedInfo())
+		for _, l := range r.Static.Leaks {
+			fmt.Printf("leak: %s via %s\n", l.Info, l.Channel)
+			for _, step := range l.Path {
+				fmt.Printf("   %s\n", step)
+			}
+		}
+	}
+	if len(r.Libs) > 0 {
+		fmt.Println("--- third-party libraries ---")
+		for _, l := range r.Libs {
+			fmt.Printf("%s (%s, prefix %s)\n", l.Name, l.Category, l.Prefix)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Command ppeval evaluates a corpus previously written to disk by
+// cmd/ppgen: every app bundle is loaded, checked, compared against the
+// stored ground truth, and the §V tables are printed.
+//
+//	ppeval -dir corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ppchecker/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppeval: ")
+	dir := flag.String("dir", "", "corpus directory written by ppgen (required)")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := eval.EvaluateCorpusDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d apps from %s in %v\n\n",
+		len(res.Reports), *dir, time.Since(start).Round(time.Millisecond))
+	fmt.Println(eval.RenderTableIII(res.TableIII()))
+	fmt.Println(eval.RenderFig13(res.Fig13()))
+	fmt.Println(eval.RenderTableIV(res.ComputeTableIV()))
+	fmt.Print(res.Summary().Render())
+}

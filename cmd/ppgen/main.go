@@ -1,0 +1,43 @@
+// Command ppgen generates the synthetic evaluation corpus to a
+// directory tree:
+//
+//	<out>/
+//	  libs/<LibName>.html          third-party library policies
+//	  apps/<pkg>/policy.html       app privacy policy
+//	  apps/<pkg>/description.txt   Play Store description
+//	  apps/<pkg>/app.apk           binary app package (SAPK container)
+//	  apps/<pkg>/libs.txt          bundled library names, one per line
+//	  truth.json                   ground-truth labels for evaluation
+//
+// The layout is what cmd/ppchecker consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppgen: ")
+	var (
+		out  = flag.String("out", "corpus", "output directory")
+		n    = flag.Int("apps", synth.PaperNumApps, "number of apps to generate")
+		seed = flag.Int64("seed", synth.DefaultConfig().Seed, "generation seed")
+	)
+	flag.Parse()
+
+	ds, err := synth.Generate(synth.Config{Seed: *seed, NumApps: *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bundle.WriteDataset(ds, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d apps and %d library policies to %s\n",
+		len(ds.Apps), len(ds.LibPolicies), *out)
+}

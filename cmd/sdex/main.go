@@ -1,0 +1,123 @@
+// Command sdex assembles, disassembles, verifies, and inspects SDEX
+// bytecode and SAPK packages — the developer tool for the analysis
+// substrate.
+//
+//	sdex asm  prog.sdexasm -o classes.dex     # assemble text → binary
+//	sdex dis  classes.dex                     # disassemble binary → text
+//	sdex verify classes.dex                   # structural verification
+//	sdex info app.apk                         # APK summary (unpacks if packed)
+//	sdex dot  app.apk                         # APG method graph in Graphviz dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppchecker/internal/apg"
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/libdetect"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdex: ")
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout / input-derived)")
+	_ = fs.Parse(os.Args[3:])
+
+	switch cmd {
+	case "asm":
+		text, err := os.ReadFile(path)
+		check(err)
+		d, err := dex.Assemble(string(text))
+		check(err)
+		check(dex.Verify(d))
+		target := *out
+		if target == "" {
+			target = path + ".dex"
+		}
+		check(os.WriteFile(target, dex.Encode(d), 0o644))
+		fmt.Printf("assembled %d classes (%d methods) to %s\n", len(d.Classes), d.MethodCount(), target)
+	case "dis":
+		d := loadDex(path)
+		if *out == "" {
+			fmt.Print(dex.Disassemble(d))
+		} else {
+			check(os.WriteFile(*out, []byte(dex.Disassemble(d)), 0o644))
+		}
+	case "verify":
+		d := loadDex(path)
+		check(dex.Verify(d))
+		fmt.Printf("ok: %d classes, %d methods\n", len(d.Classes), d.MethodCount())
+	case "info":
+		a := loadAPK(path)
+		fmt.Printf("package:     %s\n", a.Manifest.Package)
+		fmt.Printf("packed:      %v\n", a.Packed)
+		fmt.Printf("permissions: %d\n", len(a.Manifest.Permissions))
+		for _, p := range a.Manifest.Permissions {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Printf("components:  %d\n", len(a.Manifest.Components()))
+		for _, c := range a.Manifest.Components() {
+			fmt.Printf("  %s %s\n", c.Kind, c.Name)
+		}
+		fmt.Printf("classes:     %d (%d methods)\n", len(a.Dex.Classes), a.Dex.MethodCount())
+		if libs := libdetect.Detect(a.Dex); len(libs) > 0 {
+			fmt.Printf("libraries:\n")
+			for _, l := range libs {
+				fmt.Printf("  %s (%s)\n", l.Name, l.Category)
+			}
+		}
+	case "dot":
+		a := loadAPK(path)
+		p := apg.Build(a, apg.DefaultOptions())
+		if *out == "" {
+			check(p.WriteDot(os.Stdout))
+		} else {
+			f, err := os.Create(*out)
+			check(err)
+			check(p.WriteDot(f))
+			check(f.Close())
+		}
+	default:
+		usage()
+	}
+}
+
+// loadDex reads either a bare SDEX binary or the dex inside an APK.
+func loadDex(path string) *dex.Dex {
+	data, err := os.ReadFile(path)
+	check(err)
+	if d, err := dex.Decode(data); err == nil {
+		return d
+	}
+	a, err := apk.Decode(data)
+	check(err)
+	return a.Dex
+}
+
+func loadAPK(path string) *apk.APK {
+	data, err := os.ReadFile(path)
+	check(err)
+	a, err := apk.Decode(data)
+	check(err)
+	return a
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sdex <asm|dis|verify|info|dot> <file> [-o out]`)
+	os.Exit(2)
+}

@@ -1,0 +1,96 @@
+package ppchecker_test
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+// ExampleCheck analyzes an app whose policy omits the location its
+// bytecode reads.
+func ExampleCheck() {
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/example/demo/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := &ppchecker.App{
+		Name:       "com.example.demo",
+		PolicyHTML: "<p>We may collect your email address.</p>",
+		APK: &ppchecker.APK{
+			Manifest: &ppchecker.Manifest{
+				Package:     "com.example.demo",
+				Permissions: []ppchecker.Permission{{Name: "android.permission.ACCESS_FINE_LOCATION"}},
+				Application: ppchecker.Application{
+					Activities: []ppchecker.Component{{Name: "com.example.demo.MainActivity"}},
+				},
+			},
+			Dex: dex,
+		},
+	}
+	report := ppchecker.Check(app)
+	for _, f := range report.IncompleteVia(ppchecker.ViaCode) {
+		fmt.Printf("policy does not mention %s\n", f.Info)
+	}
+	// Output:
+	// policy does not mention location
+}
+
+// ExampleAnalyzePolicy extracts the resource sets from policy text.
+func ExampleAnalyzePolicy() {
+	analysis := ppchecker.AnalyzePolicy(`
+<p>We may collect your location.</p>
+<p>We will not share your contacts with third parties.</p>`)
+	fmt.Println("collects:", analysis.Collect)
+	fmt.Println("denies sharing:", analysis.NotDisclose)
+	// Output:
+	// collects: [location]
+	// denies sharing: [contacts]
+}
+
+// ExampleSimilarity shows the ESA resource matching the detectors use.
+func ExampleSimilarity() {
+	same := ppchecker.Similarity("device id", "device identifier") >= ppchecker.DefaultThreshold
+	different := ppchecker.Similarity("device id", "calendar") >= ppchecker.DefaultThreshold
+	fmt.Println(same, different)
+	// Output:
+	// true false
+}
+
+// ExampleGeneratePolicy generates a policy from an app (AutoPPG) and
+// verifies it by checking the app against it.
+func ExampleGeneratePolicy() {
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/example/gen/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String; -> v1
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apk := &ppchecker.APK{
+		Manifest: &ppchecker.Manifest{
+			Package:     "com.example.gen",
+			Permissions: []ppchecker.Permission{{Name: "android.permission.READ_PHONE_STATE"}},
+			Application: ppchecker.Application{
+				Activities: []ppchecker.Component{{Name: "com.example.gen.MainActivity"}},
+			},
+		},
+		Dex: dex,
+	}
+	policy := ppchecker.GeneratePolicy(apk, "")
+	report := ppchecker.Check(&ppchecker.App{Name: "com.example.gen", PolicyHTML: policy, APK: apk})
+	fmt.Println("problems:", report.HasProblem())
+	// Output:
+	// problems: false
+}

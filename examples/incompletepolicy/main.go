@@ -1,0 +1,70 @@
+// Incomplete policy: the paper's §II-B com.dooing.dooing case study.
+// The Play Store description advertises "location aware tasks" and the
+// class com.dooing.dooing.ee calls getLatitude()/getLongitude(), but
+// the privacy policy never mentions location. PPChecker must flag the
+// policy as incomplete through BOTH evidence streams (Algorithms 1
+// and 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+func main() {
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/dooing/dooing/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Lcom/dooing/dooing/ee;->locate()V
+    return-void
+.end method
+.end class
+.class Lcom/dooing/dooing/ee;
+.method locate()V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    invoke-virtual {v0}, Landroid/location/Location;->getLongitude()D -> v2
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := &ppchecker.App{
+		Name: "com.dooing.dooing",
+		PolicyHTML: `<html><body><h1>Privacy Policy</h1>
+<p>We may collect your email address when you create an account.</p>
+<p>We will use your name to personalize your task lists.</p>
+<p>We work hard to protect the security of your data.</p>
+</body></html>`,
+		Description: "Dooing is a simple task manager for teams.\n" +
+			"Location aware tasks will help you to utilize your field force in optimum way.",
+		APK: &ppchecker.APK{
+			Manifest: &ppchecker.Manifest{
+				Package: "com.dooing.dooing",
+				Permissions: []ppchecker.Permission{
+					{Name: "android.permission.ACCESS_FINE_LOCATION"},
+				},
+				Application: ppchecker.Application{
+					Activities: []ppchecker.Component{
+						{Name: "com.dooing.dooing.MainActivity", Exported: true},
+					},
+				},
+			},
+			Dex: dex,
+		},
+	}
+
+	report := ppchecker.Check(app)
+	fmt.Print(report.Summary())
+
+	// The wait-where-did-that-come-from view: which description
+	// evidence and which code paths back the findings.
+	fmt.Println("\ndescription-inferred permissions:", report.Desc.Permissions)
+	for perm, phrase := range report.Desc.Evidence {
+		fmt.Printf("  %s <- %q\n", perm, phrase)
+	}
+	fmt.Println("code-collected information:", report.Static.CollectedInfo())
+}

@@ -1,0 +1,80 @@
+// Inconsistent policy: the paper's Fig. 3 com.imangi.templerun2 case
+// study. The app's policy claims it does not collect location, but it
+// bundles the Unity3d engine whose own policy declares it receives
+// location information — an inconsistency between the app's and the
+// library's policies (Algorithm 5). The second run shows the §IV-C
+// disclaimer rule suppressing the finding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+const unityPolicy = `<html><body><h1>Unity Privacy Policy</h1>
+<p>We may receive your location information to improve our services.</p>
+<p>We may collect your device identifier.</p>
+</body></html>`
+
+func main() {
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/imangi/templerun2/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=4
+    return-void
+.end method
+.end class
+.class Lcom/unity3d/player/UnityPlayer;
+.method init()V regs=4
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := func(policy string) *ppchecker.App {
+		return &ppchecker.App{
+			Name:        "com.imangi.templerun2",
+			PolicyHTML:  policy,
+			Description: "Run, jump and slide through ancient temples!",
+			APK: &ppchecker.APK{
+				Manifest: &ppchecker.Manifest{
+					Package: "com.imangi.templerun2",
+					Application: ppchecker.Application{
+						Activities: []ppchecker.Component{
+							{Name: "com.imangi.templerun2.MainActivity", Exported: true},
+						},
+					},
+				},
+				Dex: dex,
+			},
+			LibPolicies: map[string]string{"Unity3d": unityPolicy},
+		}
+	}
+
+	fmt.Println("== without a disclaimer ==")
+	app := build(`<html><body><h1>Privacy Policy</h1>
+<p>We will not collect your location information.</p>
+</body></html>`)
+	fmt.Println("bundled libraries:", libNames(app))
+	fmt.Print(ppchecker.Check(app).Summary())
+
+	fmt.Println("\n== with a third-party disclaimer ==")
+	app = build(`<html><body><h1>Privacy Policy</h1>
+<p>We will not collect your location information.</p>
+<p>We encourage you to review the privacy practices of these third
+parties before disclosing any personally identifiable information, as
+we are not responsible for the privacy practices of those sites.</p>
+</body></html>`)
+	fmt.Print(ppchecker.Check(app).Summary())
+}
+
+func libNames(app *ppchecker.App) []string {
+	var names []string
+	for _, l := range ppchecker.DetectLibraries(app.APK.Dex) {
+		names = append(names, l.Name)
+	}
+	return names
+}

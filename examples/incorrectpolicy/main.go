@@ -1,0 +1,66 @@
+// Incorrect policy: the paper's §II-B / §V-D com.easyxapp.secret case
+// study. The policy declares "we will not store your real phone
+// number, name and contacts", but the bytecode queries the contacts
+// content provider and writes the result to the log — a retention the
+// taint analysis proves with a source→sink path (Algorithm 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+func main() {
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/easyxapp/secret/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    sget v1, Landroid/provider/ContactsContract$CommonDataKinds$Phone;->CONTENT_URI:Landroid/net/Uri;
+    invoke-virtual {v0, v1}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v2
+    invoke-virtual {v0, v2}, Lcom/easyxapp/secret/MainActivity;->dump(Landroid/database/Cursor;)V
+    return-void
+.end method
+.method dump(Landroid/database/Cursor;)V regs=8
+    invoke-static {v2, v1}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := &ppchecker.App{
+		Name: "com.easyxapp.secret",
+		PolicyHTML: `<html><body><h1>Privacy Policy</h1>
+<p>Your anonymity matters to us.</p>
+<p>We will not store your real phone number, name and contacts.</p>
+</body></html>`,
+		Description: "Share secrets anonymously with people around the world.",
+		APK: &ppchecker.APK{
+			Manifest: &ppchecker.Manifest{
+				Package: "com.easyxapp.secret",
+				Permissions: []ppchecker.Permission{
+					{Name: "android.permission.READ_CONTACTS"},
+				},
+				Application: ppchecker.Application{
+					Activities: []ppchecker.Component{
+						{Name: "com.easyxapp.secret.MainActivity", Exported: true},
+					},
+				},
+			},
+			Dex: dex,
+		},
+	}
+
+	report := ppchecker.Check(app)
+	fmt.Print(report.Summary())
+
+	// Show the source→sink path that contradicts the policy.
+	for _, leak := range report.Static.Leaks {
+		fmt.Printf("\ntaint path proving retention of %q via %s:\n", leak.Info, leak.Channel)
+		for _, step := range leak.Path {
+			fmt.Printf("  %s\n", step)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: build an app bundle in memory, run PPChecker over it,
+// and print the report. The app's policy covers the device identifier
+// it logs but omits the location collection its code performs, so the
+// report flags an incomplete policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+func main() {
+	// The app's bytecode, in SDEX assembly: onCreate reads the GPS
+	// coordinates and the device id, and writes the device id to the
+	// log (a retention sink).
+	dex, err := ppchecker.AssembleDex(`
+.class Lcom/example/quickstart/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v2
+    invoke-virtual {v0}, Landroid/location/Location;->getLongitude()D -> v3
+    invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String; -> v4
+    invoke-static {v1, v4}, Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	apk := &ppchecker.APK{
+		Manifest: &ppchecker.Manifest{
+			Package: "com.example.quickstart",
+			Permissions: []ppchecker.Permission{
+				{Name: "android.permission.ACCESS_FINE_LOCATION"},
+				{Name: "android.permission.READ_PHONE_STATE"},
+			},
+			Application: ppchecker.Application{
+				Activities: []ppchecker.Component{
+					{Name: "com.example.quickstart.MainActivity", Exported: true},
+				},
+			},
+		},
+		Dex: dex,
+	}
+
+	app := &ppchecker.App{
+		Name: "com.example.quickstart",
+		PolicyHTML: `<html><body>
+<h1>Privacy Policy</h1>
+<p>We may collect your device identifier to provide the service.</p>
+<p>We will not share your personal information with third parties.</p>
+</body></html>`,
+		Description: "Track your runs with precise GPS navigation and turn-by-turn directions.",
+		APK:         apk,
+	}
+
+	report := ppchecker.Check(app)
+	fmt.Print(report.Summary())
+	if !report.HasProblem() {
+		fmt.Println("policy looks trustworthy")
+	}
+}

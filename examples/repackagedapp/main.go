@@ -1,0 +1,109 @@
+// Repackaged app: the paper's intro notes that "the unrevealed
+// behaviors in an incomplete privacy policy may come from the
+// malicious component of a repackaged app". This example builds a
+// benign note-taking app with an accurate policy, then the repackaged
+// variant: an attacker's class injected under the app's own package
+// that harvests the contacts and ships them over the network. The
+// original policy — untouched by the attacker — is now incomplete, and
+// PPChecker exposes the injected behaviour with its taint path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppchecker"
+)
+
+const policy = `<html><body><h1>Privacy Policy</h1>
+<p>We may collect your email address when you create an account.</p>
+<p>Notes are stored only on your device.</p>
+</body></html>`
+
+const benignAsm = `
+.class Lcom/tidy/notes/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-static {v1}, Landroid/util/Patterns;->matchEmail(Ljava/lang/CharSequence;)Ljava/lang/String; -> v2
+    return-void
+.end method
+.end class
+`
+
+// The repackaged variant appends the attacker's component and starts
+// it from onCreate, exactly how piggybacked apps graft payloads.
+const repackagedAsm = benignAsm + `
+.class Lcom/tidy/notes/SyncHelper; extends Ljava/lang/Thread;
+.method run()V regs=10
+    sget v1, Landroid/provider/ContactsContract$CommonDataKinds$Phone;->CONTENT_URI:Landroid/net/Uri;
+    invoke-virtual {v0, v1}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v2
+    invoke-virtual {v3, v2}, Ljava/io/DataOutputStream;->writeBytes(Ljava/lang/String;)V
+    return-void
+.end method
+.end class
+`
+
+func main() {
+	fmt.Println("== original app ==")
+	check(buildApp(benignAsm, nil))
+	fmt.Println("\n== repackaged app (injected contacts exfiltration) ==")
+	report := check(buildApp(repackagedAsm, []string{"android.permission.READ_CONTACTS"}))
+	for _, leak := range report.Static.Leaks {
+		fmt.Printf("\ninjected flow: %s via %s\n", leak.Info, leak.Channel)
+		for _, step := range leak.Path {
+			fmt.Printf("  %s\n", step)
+		}
+	}
+}
+
+func buildApp(asm string, extraPerms []string) *ppchecker.App {
+	dex, err := ppchecker.AssembleDex(asm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perms := []ppchecker.Permission{{Name: "android.permission.GET_ACCOUNTS"}}
+	for _, p := range extraPerms {
+		perms = append(perms, ppchecker.Permission{Name: p})
+	}
+	apk := &ppchecker.APK{
+		Manifest: &ppchecker.Manifest{
+			Package:     "com.tidy.notes",
+			Permissions: perms,
+			Application: ppchecker.Application{
+				Activities: []ppchecker.Component{{Name: "com.tidy.notes.MainActivity"}},
+			},
+		},
+		Dex: dex,
+	}
+	// The repackaged variant wires the payload into onCreate, the way
+	// piggybacking tools patch the entry method.
+	if len(extraPerms) > 0 {
+		main := apk.Dex.Class("Lcom/tidy/notes/MainActivity;")
+		m := main.Method("onCreate", "")
+		inject, err := ppchecker.AssembleDex(`
+.class Ltmp/T;
+.method t()V regs=8
+    new-instance v3, Lcom/tidy/notes/SyncHelper;
+    invoke-virtual {v3}, Lcom/tidy/notes/SyncHelper;->start()V
+    return-void
+.end method
+.end class
+`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injected := inject.Classes[0].Methods[0].Code[:2]
+		m.Code = append(injected, m.Code...)
+	}
+	return &ppchecker.App{
+		Name:        "com.tidy.notes",
+		PolicyHTML:  policy,
+		Description: "A tidy little notes app. Sign in with your account to sync notes.",
+		APK:         apk,
+	}
+}
+
+func check(app *ppchecker.App) *ppchecker.Report {
+	report := ppchecker.Check(app)
+	fmt.Print(report.Summary())
+	return report
+}

@@ -1,0 +1,3 @@
+module ppchecker
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package apg builds the Android Property Graph of §III-C1: a property
+// graph integrating the app's structure (classes, methods, statements),
+// interprocedural control flow (call graph, CFG), implicit callback
+// edges (the EdgeMiner role), and inter-component edges resolved from
+// intents (the IccTA role). The graph is stored in the graphdb
+// substrate and queried for entry-point reachability.
+package apg
+
+import (
+	"strconv"
+	"strings"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/graphdb"
+)
+
+// Node labels in the APG.
+const (
+	LabelClass  = "class"
+	LabelMethod = "method"
+	LabelStmt   = "stmt"
+)
+
+// Edge labels in the APG.
+const (
+	EdgeContains = "contains" // class -> method
+	EdgeCode     = "code"     // method -> stmt
+	EdgeCFG      = "cfg"      // stmt -> stmt
+	EdgeCalls    = "calls"    // method -> method (explicit invoke)
+	EdgeCallback = "callback" // method -> method (EdgeMiner implicit)
+	EdgeICC      = "icc"      // method -> method (IccTA intent edge)
+	EdgeDU       = "du"       // stmt -> stmt (register def-use, the SDG layer)
+)
+
+// Options toggles analysis features (used by the ablation benchmarks).
+type Options struct {
+	// EdgeMiner enables implicit callback edges.
+	EdgeMiner bool
+	// ICC enables intent-resolved inter-component edges.
+	ICC bool
+}
+
+// DefaultOptions enables everything, as the paper's system does.
+func DefaultOptions() Options { return Options{EdgeMiner: true, ICC: true} }
+
+// APG is the built graph plus lookup maps.
+type APG struct {
+	G   *graphdb.Graph
+	APK *apk.APK
+
+	methodNode map[dex.MethodRef]graphdb.NodeID
+	classNode  map[dex.TypeDesc]graphdb.NodeID
+	opts       Options
+}
+
+// Build constructs the APG for an app.
+func Build(a *apk.APK, opts Options) *APG {
+	p := &APG{
+		G:          graphdb.New(),
+		APK:        a,
+		methodNode: map[dex.MethodRef]graphdb.NodeID{},
+		classNode:  map[dex.TypeDesc]graphdb.NodeID{},
+		opts:       opts,
+	}
+	p.G.CreateIndex("name")
+	p.addStructure()
+	p.addCallEdges()
+	if opts.EdgeMiner {
+		p.addCallbackEdges()
+	}
+	if opts.ICC {
+		p.addICCEdges()
+	}
+	return p
+}
+
+// addStructure inserts class, method and statement nodes with
+// contains/code/cfg edges.
+func (p *APG) addStructure() {
+	for _, cls := range p.APK.Dex.Classes {
+		cid := p.G.AddNode(LabelClass, map[string]string{
+			"name":  string(cls.Name),
+			"super": string(cls.Super),
+		})
+		p.classNode[cls.Name] = cid
+		for _, m := range cls.Methods {
+			mid := p.G.AddNode(LabelMethod, map[string]string{
+				"name":  m.Name,
+				"sig":   m.Sig,
+				"class": string(cls.Name),
+			})
+			p.methodNode[m.Ref()] = mid
+			mustEdge(p.G, cid, mid, EdgeContains)
+			// statement nodes and intra-method CFG
+			stmtIDs := make([]graphdb.NodeID, len(m.Code))
+			for i, ins := range m.Code {
+				props := map[string]string{
+					"op":     ins.Op.String(),
+					"index":  strconv.Itoa(i),
+					"method": m.Ref().String(),
+				}
+				if ins.Op == dex.OpInvokeVirtual || ins.Op == dex.OpInvokeStatic {
+					props["target"] = ins.Method.String()
+				}
+				if ins.Str != "" {
+					props["str"] = ins.Str
+				}
+				stmtIDs[i] = p.G.AddNode(LabelStmt, props)
+				mustEdge(p.G, mid, stmtIDs[i], EdgeCode)
+			}
+			for i, ins := range m.Code {
+				switch ins.Op {
+				case dex.OpGoto:
+					mustEdge(p.G, stmtIDs[i], stmtIDs[ins.Target], EdgeCFG)
+				case dex.OpIfZ:
+					mustEdge(p.G, stmtIDs[i], stmtIDs[ins.Target], EdgeCFG)
+					if i+1 < len(stmtIDs) {
+						mustEdge(p.G, stmtIDs[i], stmtIDs[i+1], EdgeCFG)
+					}
+				case dex.OpReturn, dex.OpReturnVoid:
+					// no fallthrough
+				default:
+					if i+1 < len(stmtIDs) {
+						mustEdge(p.G, stmtIDs[i], stmtIDs[i+1], EdgeCFG)
+					}
+				}
+			}
+			p.addDataDeps(m, stmtIDs)
+		}
+	}
+}
+
+// addDataDeps emits def-use edges between statements — the system
+// dependency graph layer of §III-C1, matching the taint engine's
+// flow-insensitive register model: every definition of a register
+// links to every use of it within the method.
+func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID) {
+	defs := map[int][]int{} // register -> defining instruction indexes
+	for i, ins := range m.Code {
+		if regDefined(ins) >= 0 {
+			defs[ins.A] = append(defs[ins.A], i)
+		}
+	}
+	for i, ins := range m.Code {
+		for _, r := range regsUsed(ins) {
+			for _, d := range defs[r] {
+				if d != i {
+					mustEdge(p.G, stmtIDs[d], stmtIDs[i], EdgeDU)
+				}
+			}
+		}
+	}
+}
+
+// regDefined returns the register an instruction writes, or -1.
+func regDefined(ins dex.Instr) int {
+	switch ins.Op {
+	case dex.OpConstString, dex.OpConst, dex.OpMove, dex.OpNewInstance,
+		dex.OpSGet, dex.OpIGet:
+		return ins.A
+	case dex.OpInvokeVirtual, dex.OpInvokeStatic:
+		return ins.A // -1 when the result is discarded
+	}
+	return -1
+}
+
+// regsUsed returns the registers an instruction reads.
+func regsUsed(ins dex.Instr) []int {
+	switch ins.Op {
+	case dex.OpMove:
+		return []int{ins.B}
+	case dex.OpInvokeVirtual, dex.OpInvokeStatic:
+		return ins.Args
+	case dex.OpIGet:
+		return ins.Args
+	case dex.OpIPut:
+		return append(append([]int(nil), ins.Args...), ins.B)
+	case dex.OpIfZ, dex.OpReturn:
+		return []int{ins.A}
+	}
+	return nil
+}
+
+// addCallEdges resolves every invoke to a defined method (through the
+// superclass chain, class-hierarchy style) and adds calls edges.
+func (p *APG) addCallEdges() {
+	p.eachInvoke(func(caller *dex.Method, i int, ins dex.Instr) {
+		target := p.APK.Dex.Lookup(ins.Method)
+		if target == nil {
+			return
+		}
+		mustEdge(p.G, p.methodNode[caller.Ref()], p.methodNode[target.Ref()], EdgeCalls)
+	})
+}
+
+// eachInvoke visits every invoke instruction in the app.
+func (p *APG) eachInvoke(f func(m *dex.Method, idx int, ins dex.Instr)) {
+	for _, cls := range p.APK.Dex.Classes {
+		for _, m := range cls.Methods {
+			for i, ins := range m.Code {
+				if ins.Op == dex.OpInvokeVirtual || ins.Op == dex.OpInvokeStatic {
+					f(m, i, ins)
+				}
+			}
+		}
+	}
+}
+
+// MethodNode returns the node of a method reference.
+func (p *APG) MethodNode(ref dex.MethodRef) (graphdb.NodeID, bool) {
+	id, ok := p.methodNode[ref]
+	return id, ok
+}
+
+// Methods returns all defined method references in deterministic order.
+func (p *APG) Methods() []dex.MethodRef {
+	var out []dex.MethodRef
+	for _, cls := range p.APK.Dex.Classes {
+		for _, m := range cls.Methods {
+			out = append(out, m.Ref())
+		}
+	}
+	return out
+}
+
+// regType scans backwards from instruction idx for the type held in
+// register reg: the most recent new-instance into it, or a const-string
+// (returned as a class name string for setClassName-style intents).
+func regType(m *dex.Method, idx, reg int) (typeDesc dex.TypeDesc, constStr string) {
+	for i := idx - 1; i >= 0; i-- {
+		ins := m.Code[i]
+		switch ins.Op {
+		case dex.OpNewInstance:
+			if ins.A == reg {
+				return dex.TypeDesc(ins.Str), ""
+			}
+		case dex.OpConstString:
+			if ins.A == reg {
+				return "", ins.Str
+			}
+		case dex.OpMove:
+			if ins.A == reg {
+				reg = ins.B
+			}
+		case dex.OpInvokeVirtual, dex.OpInvokeStatic:
+			if ins.A == reg {
+				// result of a call: give up on the literal but keep
+				// scanning is unsound; report the declared return type.
+				return dex.ReturnType(ins.Method.Sig), ""
+			}
+		}
+	}
+	return "", ""
+}
+
+// classHasPrefix reports whether a class descriptor's dotted name
+// starts with the app's package name — the paper's test for "the app
+// is the caller of this API".
+func classHasPrefix(cls dex.TypeDesc, pkg string) bool {
+	return strings.HasPrefix(cls.ClassName(), pkg)
+}
+
+func mustEdge(g *graphdb.Graph, from, to graphdb.NodeID, label string) {
+	// Nodes are created by the same builder; an error here is a
+	// programming bug, not an input condition.
+	if err := g.AddEdge(from, to, label); err != nil {
+		panic("apg: " + err.Error())
+	}
+}

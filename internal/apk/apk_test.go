@@ -1,0 +1,199 @@
+package apk
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ppchecker/internal/dex"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Package: "com.example.app",
+		Permissions: []Permission{
+			{Name: "android.permission.ACCESS_FINE_LOCATION"},
+			{Name: "android.permission.READ_CONTACTS"},
+		},
+		Application: Application{
+			Activities: []Component{{
+				Name:     "com.example.app.MainActivity",
+				Exported: true,
+				Filters: []IntentFilter{{
+					Actions: []Action{{Name: "android.intent.action.MAIN"}},
+				}},
+			}},
+			Services: []Component{{Name: "com.example.app.SyncService"}},
+		},
+	}
+}
+
+func sampleDex(t *testing.T) *dex.Dex {
+	t.Helper()
+	d, err := dex.Assemble(`
+.class Lcom/example/app/MainActivity; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=4
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	data, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Package != m.Package {
+		t.Fatalf("package = %q", m2.Package)
+	}
+	if !m2.HasPermission("android.permission.READ_CONTACTS") {
+		t.Fatal("permission lost")
+	}
+	if len(m2.Components()) != 2 {
+		t.Fatalf("components = %+v", m2.Components())
+	}
+	if m2.Application.Activities[0].Filters[0].Actions[0].Name != "android.intent.action.MAIN" {
+		t.Fatal("intent filter lost")
+	}
+}
+
+func TestDecodeManifestRejectsEmptyPackage(t *testing.T) {
+	if _, err := DecodeManifest([]byte(`<manifest></manifest>`)); err == nil {
+		t.Fatal("manifest without package accepted")
+	}
+	if _, err := DecodeManifest([]byte(`not xml`)); err == nil {
+		t.Fatal("non-XML accepted")
+	}
+}
+
+func TestAPKRoundTrip(t *testing.T) {
+	a := New(sampleManifest(), sampleDex(t))
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Manifest.Package != "com.example.app" {
+		t.Fatalf("package = %q", a2.Manifest.Package)
+	}
+	if a2.Packed {
+		t.Fatal("unpacked APK reported packed")
+	}
+	if a2.Dex.Class("Lcom/example/app/MainActivity;") == nil {
+		t.Fatal("dex lost")
+	}
+}
+
+func TestPackedAPKRoundTrip(t *testing.T) {
+	a := New(sampleManifest(), sampleDex(t))
+	a.Packed = true
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized container must not contain the dex in clear form.
+	if bytes.Contains(data, dex.Encode(a.Dex)) {
+		t.Fatal("packed APK contains cleartext dex")
+	}
+	a2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Packed {
+		t.Fatal("packed flag not recovered")
+	}
+	if !reflect.DeepEqual(dex.Encode(a.Dex), dex.Encode(a2.Dex)) {
+		t.Fatal("unpacked dex differs from original")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	a := New(sampleManifest(), sampleDex(t))
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:2]); err == nil {
+		t.Error("short input accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'Z'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Error("truncated container accepted")
+	}
+}
+
+// TestXORCipherProperty: the cipher is its own inverse for any payload.
+func TestXORCipherProperty(t *testing.T) {
+	f := func(payload []byte, pkgSeed uint32) bool {
+		key := packKey(string(rune('a'+pkgSeed%26)) + ".example")
+		return bytes.Equal(xorCipher(xorCipher(payload, key), key), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackKeyDistinct: different packages get different keys.
+func TestPackKeyDistinct(t *testing.T) {
+	k1 := packKey("com.example.one")
+	k2 := packKey("com.example.two")
+	if bytes.Equal(k1, k2) {
+		t.Fatal("keys collide")
+	}
+}
+
+func TestKeyFromStubErrors(t *testing.T) {
+	if _, err := keyFromStub([]byte("BAD!")); err == nil {
+		t.Error("bad stub accepted")
+	}
+	if _, err := keyFromStub([]byte("STUB\x10short")); err == nil {
+		t.Error("truncated stub accepted")
+	}
+}
+
+// TestDecodeRandomBytesNeverPanics: hostile container bytes produce
+// errors, not panics.
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeBitFlips: flipping any byte of a valid container either
+// still decodes or errors — never panics — and a flip inside the
+// payload of a packed app is caught by the dex verifier or decoder.
+func TestDecodeBitFlips(t *testing.T) {
+	a := New(sampleManifest(), sampleDex(t))
+	a.Packed = true
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x55
+		_, _ = Decode(mut) // must not panic
+	}
+}

@@ -1,0 +1,159 @@
+// Package autoppg generates a privacy policy from an app package — a
+// reimplementation of the paper authors' companion system AutoPPG
+// ("We proposed and developed AutoPPG to automatically generate
+// privacy policies for Android apps", §VII). The generated policy
+// declares exactly what the static analysis proves the app does:
+// collected information, retained information with its channel, the
+// description-implied behaviours, and the bundled third-party
+// libraries. By construction, PPChecker finds no problems in a policy
+// generated for the same app (the closure property the tests pin).
+package autoppg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/desc"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/static"
+)
+
+// Options configures generation.
+type Options struct {
+	// AppName overrides the manifest package in the title.
+	AppName string
+	// Description, when given, is analyzed so description-implied
+	// information is covered even when the code path was not proven.
+	Description string
+	// IncludeLibs adds a third-party section naming detected libraries.
+	IncludeLibs bool
+	// Static controls the underlying analysis.
+	Static static.Options
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{IncludeLibs: true, Static: static.DefaultOptions()}
+}
+
+// phraseFor maps an information type to the resource phrase used in
+// generated sentences. Every phrase ESA-matches its information name
+// (pinned by tests), so checkers recognize the coverage.
+var phraseFor = map[sensitive.Info]string{
+	sensitive.InfoLocation:  "location information",
+	sensitive.InfoContact:   "contacts",
+	sensitive.InfoPhone:     "phone number",
+	sensitive.InfoDeviceID:  "device identifier",
+	sensitive.InfoIPAddress: "ip address",
+	sensitive.InfoCookie:    "cookies",
+	sensitive.InfoEmail:     "email address",
+	sensitive.InfoAccount:   "account information",
+	sensitive.InfoCalendar:  "calendar entries",
+	sensitive.InfoCamera:    "camera",
+	sensitive.InfoAudio:     "audio recordings",
+	sensitive.InfoSMS:       "sms messages",
+	sensitive.InfoCallLog:   "call log",
+	sensitive.InfoAppList:   "list of installed applications",
+	sensitive.InfoBrowsing:  "browsing history",
+	sensitive.InfoWifi:      "wifi information",
+	sensitive.InfoBluetooth: "bluetooth devices",
+}
+
+// channelClause describes where retained information goes.
+var channelClause = map[sensitive.Channel]string{
+	sensitive.ChannelLog:       "in diagnostic logs on your device",
+	sensitive.ChannelFile:      "in files on your device",
+	sensitive.ChannelNetwork:   "on our servers",
+	sensitive.ChannelSMS:       "in outgoing messages",
+	sensitive.ChannelBluetooth: "on paired devices",
+}
+
+// Generate produces the policy as HTML.
+func Generate(a *apk.APK, opts Options) string {
+	res := static.Analyze(a, opts.Static)
+	name := opts.AppName
+	if name == "" {
+		name = a.Manifest.Package
+	}
+
+	collected := map[sensitive.Info]bool{}
+	for _, info := range res.CollectedInfo() {
+		collected[info] = true
+	}
+	// Description-implied information is covered too: an app whose
+	// description advertises location should declare it even if the
+	// static analysis missed the call.
+	if opts.Description != "" {
+		for _, info := range desc.NewAnalyzer().Analyze(opts.Description).Infos {
+			collected[info] = true
+		}
+	}
+	retainedBy := map[sensitive.Info]map[sensitive.Channel]bool{}
+	for _, l := range res.Leaks {
+		if retainedBy[l.Info] == nil {
+			retainedBy[l.Info] = map[sensitive.Channel]bool{}
+		}
+		retainedBy[l.Info][l.Channel] = true
+		collected[l.Info] = true
+	}
+
+	var b strings.Builder
+	b.WriteString("<html><head><title>Privacy Policy</title></head><body>\n")
+	fmt.Fprintf(&b, "<h1>Privacy Policy for %s</h1>\n", name)
+	b.WriteString("<p>This privacy policy was generated from an analysis of the application and explains what information the application handles.</p>\n")
+
+	if len(collected) == 0 {
+		b.WriteString("<p>The application does not access personal information.</p>\n")
+	}
+	for _, info := range sortedInfos(collected) {
+		fmt.Fprintf(&b, "<p>We may collect your %s to provide the service.</p>\n", phraseFor[info])
+	}
+	for _, info := range sortedRetained(retainedBy) {
+		for _, ch := range sortedChannels(retainedBy[info]) {
+			fmt.Fprintf(&b, "<p>We may store your %s %s.</p>\n", phraseFor[info], channelClause[ch])
+		}
+	}
+	if opts.IncludeLibs {
+		if libs := libdetect.Detect(a.Dex); len(libs) > 0 {
+			names := make([]string, len(libs))
+			for i, l := range libs {
+				names[i] = l.Name
+			}
+			fmt.Fprintf(&b, "<p>The application includes third party services (%s) with their own privacy policies, and we encourage you to review them.</p>\n",
+				strings.Join(names, ", "))
+		}
+	}
+	b.WriteString("<p>If you have any questions about this policy, please email our support team.</p>\n")
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func sortedInfos(set map[sensitive.Info]bool) []sensitive.Info {
+	out := make([]sensitive.Info, 0, len(set))
+	for info := range set {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRetained(m map[sensitive.Info]map[sensitive.Channel]bool) []sensitive.Info {
+	out := make([]sensitive.Info, 0, len(m))
+	for info := range m {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedChannels(set map[sensitive.Channel]bool) []sensitive.Channel {
+	out := make([]sensitive.Channel, 0, len(set))
+	for ch := range set {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,112 @@
+package autoppg
+
+import (
+	"strings"
+	"testing"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/synth"
+)
+
+// TestPhrasesMatchInfos: every generated phrase must ESA-match its
+// information name, or the generated coverage would be invisible to
+// the checker.
+func TestPhrasesMatchInfos(t *testing.T) {
+	x := esa.Default()
+	for info, phrase := range phraseFor {
+		if sim := x.Similarity(string(info), phrase); sim < esa.DefaultThreshold {
+			t.Errorf("phrase %q does not cover %q (%.3f)", phrase, info, sim)
+		}
+	}
+}
+
+func buildAPK(t *testing.T, pkg, asm string) *apk.APK {
+	t.Helper()
+	d, err := dex.Assemble(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &apk.Manifest{
+		Package:     pkg,
+		Permissions: []apk.Permission{{Name: sensitive.PermFineLocation}, {Name: sensitive.PermPhoneState}},
+		Application: apk.Application{Activities: []apk.Component{{Name: pkg + ".Main"}}},
+	}
+	return apk.New(m, d)
+}
+
+func TestGenerateDeclaresBehaviour(t *testing.T) {
+	a := buildAPK(t, "com.example.gen", `
+.class Lcom/example/gen/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String; -> v2
+    invoke-static {v3, v2}, Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+.end class
+.class Lcom/flurry/android/Agent;
+.end class
+`)
+	policy := Generate(a, DefaultOptions())
+	for _, want := range []string{
+		"location information",
+		"device identifier",
+		"diagnostic logs",
+		"Flurry",
+	} {
+		if !strings.Contains(policy, want) {
+			t.Errorf("generated policy missing %q:\n%s", want, policy)
+		}
+	}
+}
+
+func TestGenerateCleanApp(t *testing.T) {
+	a := buildAPK(t, "com.example.silent", `
+.class Lcom/example/silent/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=4
+    return-void
+.end method
+.end class
+`)
+	policy := Generate(a, DefaultOptions())
+	if !strings.Contains(policy, "does not access personal information") {
+		t.Fatalf("clean app policy:\n%s", policy)
+	}
+}
+
+// TestClosureProperty is the headline guarantee: replacing every
+// corpus app's policy with a generated one makes PPChecker find no
+// problems (no incomplete, no incorrect, no inconsistent findings).
+func TestClosureProperty(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 4242, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := core.NewChecker()
+	problems := 0
+	for i, ga := range ds.Apps {
+		// Sample across the corpus: every plant region plus fillers.
+		if i%7 != 0 {
+			continue
+		}
+		app := *ga.App
+		opts := DefaultOptions()
+		opts.Description = app.Description
+		app.PolicyHTML = Generate(app.APK, opts)
+		r := checker.Check(&app)
+		if r.HasProblem() {
+			problems++
+			if problems <= 3 {
+				t.Errorf("app %d (%s) still has problems with generated policy:\n%s",
+					i, app.Name, r.Summary())
+			}
+		}
+	}
+	if problems > 0 {
+		t.Fatalf("%d apps with problems after regeneration", problems)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bundle reads and writes app bundles and corpus trees on
+// disk — the interchange format between cmd/ppgen (which writes a
+// corpus) and cmd/ppchecker (which analyzes one app):
+//
+//	<corpus>/
+//	  libs/<LibName>.html
+//	  apps/<pkg>/policy.html
+//	  apps/<pkg>/description.txt
+//	  apps/<pkg>/app.apk
+//	  apps/<pkg>/libs.txt
+//	  truth.json
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/synth"
+)
+
+// File names inside an app bundle.
+const (
+	FilePolicy      = "policy.html"
+	FileDescription = "description.txt"
+	FileAPK         = "app.apk"
+	FileLibs        = "libs.txt"
+	FileTruth       = "truth.json"
+	DirApps         = "apps"
+	DirLibs         = "libs"
+)
+
+// TruthEntry pairs a package name with its ground-truth labels in
+// truth.json.
+type TruthEntry struct {
+	Pkg   string
+	Truth synth.GroundTruth
+}
+
+// WriteApp writes one app bundle directory.
+func WriteApp(dir string, app *core.App) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	apkData, err := apk.Encode(app.APK)
+	if err != nil {
+		return fmt.Errorf("bundle: encode %s: %w", app.Name, err)
+	}
+	files := map[string][]byte{
+		FilePolicy:      []byte(app.PolicyHTML),
+		FileDescription: []byte(app.Description),
+		FileAPK:         apkData,
+		FileLibs:        []byte(libList(app.LibPolicies)),
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadApp loads one app bundle. libsDir may be empty, in which case no
+// library policies are attached; missing library policies are skipped,
+// mirroring the paper's handling of libs without English policies.
+func ReadApp(dir, libsDir string) (*core.App, error) {
+	policy, err := os.ReadFile(filepath.Join(dir, FilePolicy))
+	if err != nil {
+		return nil, err
+	}
+	description, err := os.ReadFile(filepath.Join(dir, FileDescription))
+	if err != nil {
+		return nil, err
+	}
+	apkData, err := os.ReadFile(filepath.Join(dir, FileAPK))
+	if err != nil {
+		return nil, err
+	}
+	a, err := apk.Decode(apkData)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: parse %s: %w", filepath.Join(dir, FileAPK), err)
+	}
+	app := &core.App{
+		Name:        a.Manifest.Package,
+		PolicyHTML:  string(policy),
+		Description: string(description),
+		APK:         a,
+		LibPolicies: map[string]string{},
+	}
+	libData, err := os.ReadFile(filepath.Join(dir, FileLibs))
+	if err != nil || libsDir == "" {
+		return app, nil
+	}
+	for _, name := range strings.Split(strings.TrimSpace(string(libData)), "\n") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(libsDir, name+".html"))
+		if err != nil {
+			continue
+		}
+		app.LibPolicies[name] = string(data)
+	}
+	return app, nil
+}
+
+// WriteDataset writes a whole corpus tree.
+func WriteDataset(ds *synth.Dataset, out string) error {
+	libDir := filepath.Join(out, DirLibs)
+	if err := os.MkdirAll(libDir, 0o755); err != nil {
+		return err
+	}
+	for name, policy := range ds.LibPolicies {
+		if err := os.WriteFile(filepath.Join(libDir, name+".html"), []byte(policy), 0o644); err != nil {
+			return err
+		}
+	}
+	truths := make([]TruthEntry, 0, len(ds.Apps))
+	for _, ga := range ds.Apps {
+		if err := WriteApp(filepath.Join(out, DirApps, ga.App.Name), ga.App); err != nil {
+			return err
+		}
+		truths = append(truths, TruthEntry{Pkg: ga.App.Name, Truth: ga.Truth})
+	}
+	truthData, err := json.MarshalIndent(truths, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(out, FileTruth), truthData, 0o644)
+}
+
+// ReadTruth loads a corpus's ground-truth labels.
+func ReadTruth(corpusDir string) ([]TruthEntry, error) {
+	data, err := os.ReadFile(filepath.Join(corpusDir, FileTruth))
+	if err != nil {
+		return nil, err
+	}
+	var entries []TruthEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("bundle: truth.json: %w", err)
+	}
+	return entries, nil
+}
+
+// ListApps returns the app bundle directories of a corpus in sorted
+// order.
+func ListApps(corpusDir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(corpusDir, DirApps))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(corpusDir, DirApps, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func libList(libPolicies map[string]string) string {
+	names := make([]string, 0, len(libPolicies))
+	for name := range libPolicies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\n")
+}

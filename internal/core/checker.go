@@ -1,0 +1,148 @@
+// Package core is the problem-identification module of §IV — the
+// paper's primary contribution. It combines the privacy-policy
+// analysis, the static analysis, the description analysis, and the
+// third-party-library policies to detect the three problem classes:
+// incomplete, incorrect, and inconsistent privacy policies
+// (Algorithms 1–5).
+package core
+
+import (
+	"ppchecker/internal/apk"
+	"ppchecker/internal/desc"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/patterns"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/static"
+)
+
+// App is the input bundle for one app: everything Fig. 4 of the paper
+// feeds into PPChecker.
+type App struct {
+	// Name is the package name (informational; the manifest package is
+	// authoritative for analysis).
+	Name string
+	// PolicyHTML is the app's privacy policy (HTML or plain text).
+	PolicyHTML string
+	// Description is the Google Play description.
+	Description string
+	// APK is the app package.
+	APK *apk.APK
+	// LibPolicies maps a detected library name to its privacy policy
+	// text. Libraries without an entry are skipped, as the paper skips
+	// libs without English policies.
+	LibPolicies map[string]string
+}
+
+// Checker runs the full pipeline. Construct with NewChecker; the zero
+// value is not usable.
+type Checker struct {
+	policyAnalyzer *policy.Analyzer
+	descAnalyzer   *desc.Analyzer
+	index          *esa.Index
+	threshold      float64
+	staticOpts     static.Options
+	disclaimers    bool
+
+	// libCache memoizes lib-policy analyses by policy text; the same 81
+	// library policies recur across the whole corpus. A Checker is not
+	// safe for concurrent use.
+	libCache map[string]*policy.Analysis
+}
+
+// CheckerOption configures a Checker.
+type CheckerOption func(*Checker)
+
+// WithPolicyAnalyzer substitutes the policy analyzer (e.g. one built on
+// a mined pattern set for the Fig. 12 sweep).
+func WithPolicyAnalyzer(a *policy.Analyzer) CheckerOption {
+	return func(c *Checker) { c.policyAnalyzer = a }
+}
+
+// WithESAThreshold overrides the similarity threshold (default 0.67).
+func WithESAThreshold(t float64) CheckerOption {
+	return func(c *Checker) { c.threshold = t }
+}
+
+// WithStaticOptions overrides the static-analysis options.
+func WithStaticOptions(o static.Options) CheckerOption {
+	return func(c *Checker) { c.staticOpts = o }
+}
+
+// WithDisclaimerHandling toggles the §IV-C disclaimer rule (default
+// on); the ablation bench turns it off.
+func WithDisclaimerHandling(on bool) CheckerOption {
+	return func(c *Checker) { c.disclaimers = on }
+}
+
+// WithSynonymExpansion enables the §VI extension that adds synonym
+// verbs ("display", "check", ...) to the category lists, recovering
+// the paper's reported false negatives.
+func WithSynonymExpansion() CheckerOption {
+	return func(c *Checker) {
+		c.policyAnalyzer = policy.NewAnalyzer(policy.WithMatcher(patterns.ExtendedMatcher()))
+	}
+}
+
+// WithConstraintAnalysis enables the §VI extension that models
+// consent-style constraints ("without your consent") when analyzing
+// policies.
+func WithConstraintAnalysis() CheckerOption {
+	return func(c *Checker) {
+		c.policyAnalyzer = policy.NewAnalyzer(policy.WithConstraintAnalysis(true))
+	}
+}
+
+// NewChecker builds a checker with the paper's defaults.
+func NewChecker(opts ...CheckerOption) *Checker {
+	c := &Checker{
+		policyAnalyzer: policy.NewAnalyzer(),
+		descAnalyzer:   desc.NewAnalyzer(),
+		index:          esa.Default(),
+		threshold:      esa.DefaultThreshold,
+		staticOpts:     static.DefaultOptions(),
+		disclaimers:    true,
+		libCache:       map[string]*policy.Analysis{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Check runs the three detectors over one app and returns the report.
+func (c *Checker) Check(app *App) *Report {
+	r := &Report{App: appName(app)}
+	r.Policy = c.policyAnalyzer.AnalyzeHTML(app.PolicyHTML)
+	r.Desc = c.descAnalyzer.Analyze(app.Description)
+	if app.APK != nil {
+		r.Static = static.Analyze(app.APK, c.staticOpts)
+		r.Libs = libdetect.Detect(app.APK.Dex)
+	}
+
+	c.detectIncomplete(app, r)
+	c.detectIncorrect(app, r)
+	c.detectInconsistent(app, r)
+	return r
+}
+
+func appName(app *App) string {
+	if app.Name != "" {
+		return app.Name
+	}
+	if app.APK != nil && app.APK.Manifest != nil {
+		return app.APK.Manifest.Package
+	}
+	return "(unnamed)"
+}
+
+// similarTo reports whether info matches any phrase in set under the
+// ESA threshold — the Similarity() predicate of Algorithms 1–5.
+func (c *Checker) similarTo(info string, set []string) bool {
+	for _, s := range set {
+		if c.index.Similarity(info, s) >= c.threshold {
+			return true
+		}
+	}
+	return false
+}

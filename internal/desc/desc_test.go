@@ -1,0 +1,115 @@
+package desc
+
+import (
+	"testing"
+
+	"ppchecker/internal/sensitive"
+)
+
+func hasPerm(res *Result, perm string) bool {
+	for _, p := range res.Permissions {
+		if p == perm {
+			return true
+		}
+	}
+	return false
+}
+
+func hasInfo(res *Result, info sensitive.Info) bool {
+	for _, i := range res.Infos {
+		if i == info {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLocationFromDescription(t *testing.T) {
+	// The paper's com.dooing.dooing sentence (§II-B).
+	a := NewAnalyzer()
+	res := a.Analyze("Location aware tasks will help you to utilize your field force in optimum way.")
+	if !hasPerm(res, sensitive.PermFineLocation) && !hasPerm(res, sensitive.PermCoarseLocation) {
+		t.Fatalf("location permission not inferred: %+v", res)
+	}
+	if !hasInfo(res, sensitive.InfoLocation) {
+		t.Fatalf("location info not inferred: %+v", res)
+	}
+}
+
+func TestContactsFromDescription(t *testing.T) {
+	// The paper's com.marcow.birthdaylist sentence (§V-D).
+	a := NewAnalyzer()
+	res := a.Analyze("This app synchronizes all birthdays with your contacts list and facebook.")
+	if !hasPerm(res, sensitive.PermReadContacts) {
+		t.Fatalf("contacts permission not inferred: %+v", res)
+	}
+	if !hasInfo(res, sensitive.InfoContact) {
+		t.Fatalf("contact info not inferred: %+v", res)
+	}
+}
+
+func TestCameraFromDescription(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.Analyze("Scan any QR code or barcode with your camera instantly.")
+	if !hasPerm(res, sensitive.PermCamera) {
+		t.Fatalf("camera permission not inferred: %+v", res)
+	}
+}
+
+func TestCalendarFromDescription(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.Analyze("Keep track of all your calendar events and meetings in one simple agenda view.")
+	if !hasPerm(res, sensitive.PermReadCalendar) {
+		t.Fatalf("calendar permission not inferred: %+v", res)
+	}
+}
+
+func TestAccountsFromDescription(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.Analyze("Sign in with your Google account to sync your progress across devices.")
+	if !hasPerm(res, sensitive.PermGetAccounts) {
+		t.Fatalf("accounts permission not inferred: %+v", res)
+	}
+}
+
+func TestNeutralDescriptionInfersNothing(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.Analyze(`A simple and relaxing puzzle game.
+Swipe tiles to combine matching numbers and reach the highest score.
+Hundreds of levels with beautiful minimalist graphics.`)
+	if len(res.Permissions) != 0 {
+		t.Fatalf("neutral description inferred %v (evidence %v)", res.Permissions, res.Evidence)
+	}
+}
+
+func TestEvidenceRecorded(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.Analyze("Record voice memos with the microphone.")
+	if !hasPerm(res, sensitive.PermRecordAudio) {
+		t.Fatalf("audio permission not inferred: %+v", res)
+	}
+	if res.Evidence[sensitive.PermRecordAudio] == "" {
+		t.Fatal("no evidence recorded")
+	}
+}
+
+// TestUnjustified: permissions requested without description support
+// are flagged; justified and unprofiled permissions are not.
+func TestUnjustified(t *testing.T) {
+	a := NewAnalyzer()
+	requested := []string{
+		sensitive.PermFineLocation,    // justified below
+		sensitive.PermReadContacts,    // NOT justified
+		"android.permission.INTERNET", // unprofiled: skipped
+	}
+	got := a.Unjustified(requested, "Track your runs with precise GPS navigation and turn-by-turn directions.")
+	if len(got) != 1 || got[0] != sensitive.PermReadContacts {
+		t.Fatalf("Unjustified = %v", got)
+	}
+	// Everything justified → empty.
+	got = a.Unjustified([]string{sensitive.PermReadContacts},
+		"Find friends from your contacts list and never miss their birthdays.")
+	if len(got) != 0 {
+		t.Fatalf("justified permission flagged: %v", got)
+	}
+}

@@ -1,0 +1,454 @@
+package dex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses SDEX textual assembly (a smali-like format) into a
+// Dex image. The format:
+//
+//	.class Lcom/example/Main; extends Landroid/app/Activity;
+//	.field token:Ljava/lang/String;
+//	.method onCreate(Landroid/os/Bundle;)V regs=8
+//	    const-string v1, "content://contacts"
+//	    invoke-virtual {v0, v1}, Landroid/content/ContentResolver;->query(Ljava/lang/String;)Landroid/database/Cursor; -> v2
+//	    return-void
+//	.end method
+//	.end class
+//
+// Branch targets are absolute instruction indexes within the method.
+func Assemble(text string) (*Dex, error) {
+	d := &Dex{}
+	var cls *Class
+	var meth *Method
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("dex: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".class "):
+			if cls != nil {
+				return nil, fail("nested .class")
+			}
+			cls = &Class{}
+			fields := strings.Fields(line[len(".class "):])
+			if len(fields) == 0 {
+				return nil, fail(".class missing name")
+			}
+			cls.Name = TypeDesc(fields[0])
+			for i := 1; i < len(fields); i++ {
+				switch fields[i] {
+				case "extends":
+					if i+1 >= len(fields) {
+						return nil, fail("extends missing type")
+					}
+					i++
+					cls.Super = TypeDesc(fields[i])
+				case "implements":
+					if i+1 >= len(fields) {
+						return nil, fail("implements missing types")
+					}
+					i++
+					for _, t := range strings.Split(fields[i], ",") {
+						cls.Interfaces = append(cls.Interfaces, TypeDesc(t))
+					}
+				default:
+					return nil, fail("unknown .class token %q", fields[i])
+				}
+			}
+		case line == ".end class":
+			if cls == nil {
+				return nil, fail(".end class without .class")
+			}
+			if meth != nil {
+				return nil, fail(".end class inside .method")
+			}
+			d.Classes = append(d.Classes, cls)
+			cls = nil
+		case strings.HasPrefix(line, ".field "):
+			if cls == nil || meth != nil {
+				return nil, fail(".field outside class body")
+			}
+			spec := strings.TrimSpace(line[len(".field "):])
+			colon := strings.IndexByte(spec, ':')
+			if colon < 0 {
+				return nil, fail(".field missing type")
+			}
+			cls.Fields = append(cls.Fields, FieldRef{
+				Class: cls.Name,
+				Name:  spec[:colon],
+				Type:  TypeDesc(spec[colon+1:]),
+			})
+		case strings.HasPrefix(line, ".method "):
+			if cls == nil {
+				return nil, fail(".method outside .class")
+			}
+			if meth != nil {
+				return nil, fail("nested .method")
+			}
+			m, err := parseMethodHeader(line[len(".method "):])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			meth = m
+		case line == ".end method":
+			if meth == nil {
+				return nil, fail(".end method without .method")
+			}
+			if err := validateTargets(meth); err != nil {
+				return nil, fail("%v", err)
+			}
+			cls.AddMethod(meth)
+			meth = nil
+		default:
+			if meth == nil {
+				return nil, fail("instruction outside method: %q", line)
+			}
+			ins, err := parseInstr(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			meth.Code = append(meth.Code, ins)
+		}
+	}
+	if cls != nil {
+		return nil, fmt.Errorf("dex: unterminated .class %s", cls.Name)
+	}
+	return d, nil
+}
+
+func parseMethodHeader(s string) (*Method, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf(".method missing name")
+	}
+	sig := fields[0]
+	paren := strings.IndexByte(sig, '(')
+	if paren < 0 {
+		return nil, fmt.Errorf(".method %q missing signature", sig)
+	}
+	m := &Method{Name: sig[:paren], Sig: sig[paren:], NumRegs: 16}
+	for _, f := range fields[1:] {
+		switch {
+		case strings.HasPrefix(f, "regs="):
+			n, err := strconv.Atoi(f[len("regs="):])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad regs %q", f)
+			}
+			m.NumRegs = n
+		case f == "static":
+			m.Static = true
+		default:
+			return nil, fmt.Errorf("unknown method attribute %q", f)
+		}
+	}
+	return m, nil
+}
+
+func validateTargets(m *Method) error {
+	for i, ins := range m.Code {
+		switch ins.Op {
+		case OpIfZ, OpGoto:
+			if ins.Target < 0 || ins.Target >= len(m.Code) {
+				return fmt.Errorf("instruction %d: branch target %d out of range", i, ins.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// parseInstr parses one instruction line.
+func parseInstr(line string) (Instr, error) {
+	ins := Instr{A: -1, B: -1}
+	mnemonic := line
+	rest := ""
+	if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		mnemonic, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return ins, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	ins.Op = op
+	switch op {
+	case OpNop, OpReturnVoid:
+		return ins, nil
+	case OpConstString:
+		// const-string vA, "..."
+		reg, lit, err := splitRegAndTail(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.A = reg
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return ins, fmt.Errorf("bad string literal %q: %v", lit, err)
+		}
+		ins.Str = s
+		return ins, nil
+	case OpConst:
+		reg, lit, err := splitRegAndTail(rest)
+		if err != nil {
+			return ins, err
+		}
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return ins, fmt.Errorf("bad literal %q", lit)
+		}
+		ins.A, ins.Lit = reg, v
+		return ins, nil
+	case OpMove:
+		a, b, err := twoRegs(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.A, ins.B = a, b
+		return ins, nil
+	case OpNewInstance, OpSGet:
+		reg, t, err := splitRegAndTail(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.A, ins.Str = reg, t
+		return ins, nil
+	case OpInvokeVirtual, OpInvokeStatic:
+		return parseInvoke(ins, rest)
+	case OpIGet:
+		// iget vA, vObj, fieldName
+		parts := splitCommas(rest, 3)
+		if parts == nil {
+			return ins, fmt.Errorf("iget wants 3 operands: %q", rest)
+		}
+		a, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		obj, err := parseReg(parts[1])
+		if err != nil {
+			return ins, err
+		}
+		ins.A, ins.Args, ins.Str = a, []int{obj}, parts[2]
+		return ins, nil
+	case OpIPut:
+		// iput vObj, fieldName, vValue
+		parts := splitCommas(rest, 3)
+		if parts == nil {
+			return ins, fmt.Errorf("iput wants 3 operands: %q", rest)
+		}
+		obj, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		val, err := parseReg(parts[2])
+		if err != nil {
+			return ins, err
+		}
+		ins.Args, ins.Str, ins.B = []int{obj}, parts[1], val
+		return ins, nil
+	case OpIfZ:
+		parts := splitCommas(rest, 2)
+		if parts == nil {
+			return ins, fmt.Errorf("if-z wants 2 operands: %q", rest)
+		}
+		reg, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		t, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return ins, fmt.Errorf("bad target %q", parts[1])
+		}
+		ins.A, ins.Target = reg, t
+		return ins, nil
+	case OpGoto:
+		t, err := strconv.Atoi(rest)
+		if err != nil {
+			return ins, fmt.Errorf("bad target %q", rest)
+		}
+		ins.Target = t
+		return ins, nil
+	case OpReturn:
+		reg, err := parseReg(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.A = reg
+		return ins, nil
+	}
+	return ins, fmt.Errorf("unhandled opcode %v", op)
+}
+
+// parseInvoke parses "{v0, v1}, Lc;->m(sig)R -> v2" (result optional).
+func parseInvoke(ins Instr, rest string) (Instr, error) {
+	if !strings.HasPrefix(rest, "{") {
+		return ins, fmt.Errorf("invoke wants {args}: %q", rest)
+	}
+	close := strings.IndexByte(rest, '}')
+	if close < 0 {
+		return ins, fmt.Errorf("invoke missing '}': %q", rest)
+	}
+	argsSpec := strings.TrimSpace(rest[1:close])
+	if argsSpec != "" {
+		for _, a := range strings.Split(argsSpec, ",") {
+			r, err := parseReg(strings.TrimSpace(a))
+			if err != nil {
+				return ins, err
+			}
+			ins.Args = append(ins.Args, r)
+		}
+	}
+	tail := strings.TrimSpace(rest[close+1:])
+	tail = strings.TrimPrefix(tail, ",")
+	tail = strings.TrimSpace(tail)
+	resIdx := strings.Index(tail, "->")
+	// The method ref itself contains "->"; the result arrow is the
+	// LAST " -> " with surrounding spaces.
+	resArrow := strings.LastIndex(tail, " -> ")
+	refText := tail
+	if resArrow >= 0 && resArrow > resIdx {
+		refText = strings.TrimSpace(tail[:resArrow])
+		reg, err := parseReg(strings.TrimSpace(tail[resArrow+4:]))
+		if err != nil {
+			return ins, err
+		}
+		ins.A = reg
+	}
+	ref, err := ParseMethodRef(refText)
+	if err != nil {
+		return ins, err
+	}
+	ins.Method = ref
+	return ins, nil
+}
+
+func parseReg(s string) (int, error) {
+	if len(s) < 2 || s[0] != 'v' {
+		return -1, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return -1, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func twoRegs(rest string) (int, int, error) {
+	parts := splitCommas(rest, 2)
+	if parts == nil {
+		return -1, -1, fmt.Errorf("want 2 registers: %q", rest)
+	}
+	a, err := parseReg(parts[0])
+	if err != nil {
+		return -1, -1, err
+	}
+	b, err := parseReg(parts[1])
+	if err != nil {
+		return -1, -1, err
+	}
+	return a, b, nil
+}
+
+// splitRegAndTail splits "vA, tail" returning the register and the
+// remainder (which may contain commas, e.g. string literals).
+func splitRegAndTail(rest string) (int, string, error) {
+	comma := strings.IndexByte(rest, ',')
+	if comma < 0 {
+		return -1, "", fmt.Errorf("want register and operand: %q", rest)
+	}
+	reg, err := parseReg(strings.TrimSpace(rest[:comma]))
+	if err != nil {
+		return -1, "", err
+	}
+	return reg, strings.TrimSpace(rest[comma+1:]), nil
+}
+
+func splitCommas(s string, n int) []string {
+	parts := strings.SplitN(s, ",", n)
+	if len(parts) != n {
+		return nil
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Disassemble renders a Dex image back to assembly text. The output
+// re-assembles to an equivalent image.
+func Disassemble(d *Dex) string {
+	var b strings.Builder
+	for _, c := range d.Classes {
+		b.WriteString(".class " + string(c.Name))
+		if c.Super != "" {
+			b.WriteString(" extends " + string(c.Super))
+		}
+		if len(c.Interfaces) > 0 {
+			names := make([]string, len(c.Interfaces))
+			for i, t := range c.Interfaces {
+				names[i] = string(t)
+			}
+			b.WriteString(" implements " + strings.Join(names, ","))
+		}
+		b.WriteByte('\n')
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, ".field %s:%s\n", f.Name, f.Type)
+		}
+		for _, m := range c.Methods {
+			fmt.Fprintf(&b, ".method %s%s regs=%d", m.Name, m.Sig, m.NumRegs)
+			if m.Static {
+				b.WriteString(" static")
+			}
+			b.WriteByte('\n')
+			for _, ins := range m.Code {
+				b.WriteString("    " + formatInstr(ins) + "\n")
+			}
+			b.WriteString(".end method\n")
+		}
+		b.WriteString(".end class\n")
+	}
+	return b.String()
+}
+
+func formatInstr(ins Instr) string {
+	switch ins.Op {
+	case OpNop, OpReturnVoid:
+		return ins.Op.String()
+	case OpConstString:
+		return fmt.Sprintf("const-string v%d, %q", ins.A, ins.Str)
+	case OpConst:
+		return fmt.Sprintf("const v%d, %d", ins.A, ins.Lit)
+	case OpMove:
+		return fmt.Sprintf("move v%d, v%d", ins.A, ins.B)
+	case OpNewInstance:
+		return fmt.Sprintf("new-instance v%d, %s", ins.A, ins.Str)
+	case OpSGet:
+		return fmt.Sprintf("sget v%d, %s", ins.A, ins.Str)
+	case OpInvokeVirtual, OpInvokeStatic:
+		args := make([]string, len(ins.Args))
+		for i, r := range ins.Args {
+			args[i] = fmt.Sprintf("v%d", r)
+		}
+		s := fmt.Sprintf("%s {%s}, %s", ins.Op, strings.Join(args, ", "), ins.Method)
+		if ins.A >= 0 {
+			s += fmt.Sprintf(" -> v%d", ins.A)
+		}
+		return s
+	case OpIGet:
+		return fmt.Sprintf("iget v%d, v%d, %s", ins.A, ins.Args[0], ins.Str)
+	case OpIPut:
+		return fmt.Sprintf("iput v%d, %s, v%d", ins.Args[0], ins.Str, ins.B)
+	case OpIfZ:
+		return fmt.Sprintf("if-z v%d, %d", ins.A, ins.Target)
+	case OpGoto:
+		return fmt.Sprintf("goto %d", ins.Target)
+	case OpReturn:
+		return fmt.Sprintf("return v%d", ins.A)
+	}
+	return ins.Op.String()
+}

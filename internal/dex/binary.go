@@ -1,0 +1,304 @@
+package dex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary SDEX format: a 4-byte magic, a format version, a string pool
+// (every name, descriptor, signature and literal is pooled), and class
+// definitions whose instructions reference the pool by index. All
+// integers are varints; registers are stored +1 so -1 (unused) encodes
+// as 0.
+
+const (
+	magic   = "SDEX"
+	version = 1
+)
+
+type pool struct {
+	strings []string
+	index   map[string]uint64
+}
+
+func newPool() *pool { return &pool{index: map[string]uint64{}} }
+
+func (p *pool) id(s string) uint64 {
+	if i, ok := p.index[s]; ok {
+		return i
+	}
+	i := uint64(len(p.strings))
+	p.strings = append(p.strings, s)
+	p.index[s] = i
+	return i
+}
+
+// Encode serializes a Dex image.
+func Encode(d *Dex) []byte {
+	p := newPool()
+	var body bytes.Buffer
+	writeUvarint(&body, uint64(len(d.Classes)))
+	for _, c := range d.Classes {
+		writeUvarint(&body, p.id(string(c.Name)))
+		writeUvarint(&body, p.id(string(c.Super)))
+		writeUvarint(&body, uint64(len(c.Interfaces)))
+		for _, t := range c.Interfaces {
+			writeUvarint(&body, p.id(string(t)))
+		}
+		writeUvarint(&body, uint64(len(c.Fields)))
+		for _, f := range c.Fields {
+			writeUvarint(&body, p.id(f.Name))
+			writeUvarint(&body, p.id(string(f.Type)))
+		}
+		writeUvarint(&body, uint64(len(c.Methods)))
+		for _, m := range c.Methods {
+			writeUvarint(&body, p.id(m.Name))
+			writeUvarint(&body, p.id(m.Sig))
+			flags := byte(0)
+			if m.Static {
+				flags = 1
+			}
+			body.WriteByte(flags)
+			writeUvarint(&body, uint64(m.NumRegs))
+			writeUvarint(&body, uint64(len(m.Code)))
+			for _, ins := range m.Code {
+				encodeInstr(&body, p, ins)
+			}
+		}
+	}
+	var out bytes.Buffer
+	out.WriteString(magic)
+	out.WriteByte(version)
+	writeUvarint(&out, uint64(len(p.strings)))
+	for _, s := range p.strings {
+		writeUvarint(&out, uint64(len(s)))
+		out.WriteString(s)
+	}
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+func encodeInstr(b *bytes.Buffer, p *pool, ins Instr) {
+	b.WriteByte(byte(ins.Op))
+	reg := func(r int) { writeUvarint(b, uint64(r+1)) }
+	switch ins.Op {
+	case OpNop, OpReturnVoid:
+	case OpConstString, OpNewInstance, OpSGet:
+		reg(ins.A)
+		writeUvarint(b, p.id(ins.Str))
+	case OpConst:
+		reg(ins.A)
+		writeVarint(b, ins.Lit)
+	case OpMove:
+		reg(ins.A)
+		reg(ins.B)
+	case OpInvokeVirtual, OpInvokeStatic:
+		reg(ins.A)
+		writeUvarint(b, p.id(string(ins.Method.Class)))
+		writeUvarint(b, p.id(ins.Method.Name))
+		writeUvarint(b, p.id(ins.Method.Sig))
+		writeUvarint(b, uint64(len(ins.Args)))
+		for _, a := range ins.Args {
+			reg(a)
+		}
+	case OpIGet:
+		reg(ins.A)
+		reg(ins.Args[0])
+		writeUvarint(b, p.id(ins.Str))
+	case OpIPut:
+		reg(ins.Args[0])
+		writeUvarint(b, p.id(ins.Str))
+		reg(ins.B)
+	case OpIfZ:
+		reg(ins.A)
+		writeUvarint(b, uint64(ins.Target))
+	case OpGoto:
+		writeUvarint(b, uint64(ins.Target))
+	case OpReturn:
+		reg(ins.A)
+	}
+}
+
+// Decode parses a binary SDEX image.
+func Decode(data []byte) (*Dex, error) {
+	r := &reader{data: data}
+	if string(r.take(4)) != magic {
+		return nil, fmt.Errorf("dex: bad magic")
+	}
+	if v := r.byte(); v != version {
+		return nil, fmt.Errorf("dex: unsupported version %d", v)
+	}
+	nStr := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nStr > uint64(len(data)) {
+		return nil, fmt.Errorf("dex: string pool size %d exceeds input", nStr)
+	}
+	strs := make([]string, nStr)
+	for i := range strs {
+		n := r.uvarint()
+		strs[i] = string(r.take(int(n)))
+	}
+	str := func(i uint64) string {
+		if r.err == nil && i >= uint64(len(strs)) {
+			r.err = fmt.Errorf("dex: string index %d out of range", i)
+			return ""
+		}
+		if r.err != nil {
+			return ""
+		}
+		return strs[i]
+	}
+	d := &Dex{}
+	nCls := r.uvarint()
+	for ci := uint64(0); ci < nCls && r.err == nil; ci++ {
+		c := &Class{}
+		c.Name = TypeDesc(str(r.uvarint()))
+		c.Super = TypeDesc(str(r.uvarint()))
+		nIf := r.uvarint()
+		for i := uint64(0); i < nIf && r.err == nil; i++ {
+			c.Interfaces = append(c.Interfaces, TypeDesc(str(r.uvarint())))
+		}
+		nF := r.uvarint()
+		for i := uint64(0); i < nF && r.err == nil; i++ {
+			name := str(r.uvarint())
+			typ := TypeDesc(str(r.uvarint()))
+			c.Fields = append(c.Fields, FieldRef{Class: c.Name, Name: name, Type: typ})
+		}
+		nM := r.uvarint()
+		for i := uint64(0); i < nM && r.err == nil; i++ {
+			m := &Method{}
+			m.Name = str(r.uvarint())
+			m.Sig = str(r.uvarint())
+			m.Static = r.byte() == 1
+			m.NumRegs = int(r.uvarint())
+			codeLen := r.uvarint()
+			for k := uint64(0); k < codeLen && r.err == nil; k++ {
+				m.Code = append(m.Code, decodeInstr(r, str))
+			}
+			c.AddMethod(m)
+		}
+		d.Classes = append(d.Classes, c)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return d, nil
+}
+
+func decodeInstr(r *reader, str func(uint64) string) Instr {
+	ins := Instr{Op: Opcode(r.byte()), A: -1, B: -1}
+	reg := func() int { return int(r.uvarint()) - 1 }
+	switch ins.Op {
+	case OpNop, OpReturnVoid:
+	case OpConstString, OpNewInstance, OpSGet:
+		ins.A = reg()
+		ins.Str = str(r.uvarint())
+	case OpConst:
+		ins.A = reg()
+		ins.Lit = r.varint()
+	case OpMove:
+		ins.A = reg()
+		ins.B = reg()
+	case OpInvokeVirtual, OpInvokeStatic:
+		ins.A = reg()
+		ins.Method.Class = TypeDesc(str(r.uvarint()))
+		ins.Method.Name = str(r.uvarint())
+		ins.Method.Sig = str(r.uvarint())
+		n := r.uvarint()
+		if n > uint64(len(r.data)) {
+			r.err = fmt.Errorf("dex: arg count %d exceeds input", n)
+			return ins
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			ins.Args = append(ins.Args, reg())
+		}
+	case OpIGet:
+		ins.A = reg()
+		ins.Args = []int{reg()}
+		ins.Str = str(r.uvarint())
+	case OpIPut:
+		ins.Args = []int{reg()}
+		ins.Str = str(r.uvarint())
+		ins.B = reg()
+	case OpIfZ:
+		ins.A = reg()
+		ins.Target = int(r.uvarint())
+	case OpGoto:
+		ins.Target = int(r.uvarint())
+	case OpReturn:
+		ins.A = reg()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("dex: unknown opcode %d", ins.Op)
+		}
+	}
+	return ins
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("dex: truncated input at %d (+%d)", r.pos, n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("dex: bad uvarint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("dex: bad varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	b.Write(tmp[:n])
+}

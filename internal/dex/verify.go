@@ -1,0 +1,123 @@
+package dex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verify checks the structural integrity of a Dex image: well-formed
+// descriptors, unique classes and methods, register operands within
+// each method's frame, branch targets in range, and invoke argument
+// lists consistent with the referenced signatures where the callee is
+// defined. Decode accepts any syntactically valid image; Verify is the
+// semantic gate analyses can rely on.
+func Verify(d *Dex) error {
+	if d == nil {
+		return fmt.Errorf("dex: nil image")
+	}
+	classes := map[TypeDesc]bool{}
+	for _, cls := range d.Classes {
+		if err := verifyClassName(cls.Name); err != nil {
+			return err
+		}
+		if classes[cls.Name] {
+			return fmt.Errorf("dex: duplicate class %s", cls.Name)
+		}
+		classes[cls.Name] = true
+		if cls.Super != "" {
+			if err := verifyClassName(cls.Super); err != nil {
+				return fmt.Errorf("dex: class %s: bad super: %w", cls.Name, err)
+			}
+		}
+		methods := map[string]bool{}
+		for _, m := range cls.Methods {
+			key := m.Name + m.Sig
+			if methods[key] {
+				return fmt.Errorf("dex: duplicate method %s in %s", key, cls.Name)
+			}
+			methods[key] = true
+			if err := verifyMethod(m); err != nil {
+				return fmt.Errorf("dex: %s->%s%s: %w", cls.Name, m.Name, m.Sig, err)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyClassName(t TypeDesc) error {
+	s := string(t)
+	if len(s) < 3 || s[0] != 'L' || s[len(s)-1] != ';' {
+		return fmt.Errorf("bad class descriptor %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if strings.Contains(inner, ";") || strings.Contains(inner, " ") {
+		return fmt.Errorf("bad class descriptor %q", s)
+	}
+	return nil
+}
+
+func verifyMethod(m *Method) error {
+	if m.NumRegs < 0 {
+		return fmt.Errorf("negative register count")
+	}
+	if !strings.HasPrefix(m.Sig, "(") || !strings.Contains(m.Sig, ")") {
+		return fmt.Errorf("bad signature %q", m.Sig)
+	}
+	// Parameters must fit the frame.
+	need := m.NumParams()
+	if !m.Static {
+		need++
+	}
+	if need > m.NumRegs {
+		return fmt.Errorf("%d parameter registers exceed frame of %d", need, m.NumRegs)
+	}
+	checkReg := func(i int, r int) error {
+		if r < -1 || r >= m.NumRegs {
+			return fmt.Errorf("instruction %d: register v%d outside frame of %d", i, r, m.NumRegs)
+		}
+		return nil
+	}
+	for i, ins := range m.Code {
+		if err := checkReg(i, ins.A); err != nil {
+			return err
+		}
+		if err := checkReg(i, ins.B); err != nil {
+			return err
+		}
+		for _, a := range ins.Args {
+			if a < 0 {
+				return fmt.Errorf("instruction %d: negative argument register", i)
+			}
+			if err := checkReg(i, a); err != nil {
+				return err
+			}
+		}
+		switch ins.Op {
+		case OpIfZ, OpGoto:
+			if ins.Target < 0 || ins.Target >= len(m.Code) {
+				return fmt.Errorf("instruction %d: branch target %d out of range", i, ins.Target)
+			}
+		case OpInvokeVirtual, OpInvokeStatic:
+			if ins.Method.Name == "" || ins.Method.Class == "" {
+				return fmt.Errorf("instruction %d: empty method reference", i)
+			}
+			if !strings.HasPrefix(ins.Method.Sig, "(") {
+				return fmt.Errorf("instruction %d: bad invoke signature %q", i, ins.Method.Sig)
+			}
+		case OpIGet, OpIPut:
+			if len(ins.Args) != 1 {
+				return fmt.Errorf("instruction %d: field access wants one object register", i)
+			}
+			if ins.Str == "" {
+				return fmt.Errorf("instruction %d: empty field name", i)
+			}
+		case OpConstString:
+			// any string is fine, including ""
+		case OpNewInstance, OpSGet:
+			if ins.Str == "" {
+				return fmt.Errorf("instruction %d: empty operand", i)
+			}
+		}
+	}
+	return nil
+}

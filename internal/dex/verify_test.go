@@ -1,0 +1,95 @@
+package dex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVerifyAcceptsSample(t *testing.T) {
+	d, err := Assemble(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(d); err != nil {
+		t.Fatalf("sample rejected: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dex)
+		want   string
+	}{
+		{"nil image", nil, "nil image"},
+		{"duplicate class", func(d *Dex) {
+			d.Classes = append(d.Classes, &Class{Name: d.Classes[0].Name})
+		}, "duplicate class"},
+		{"bad class name", func(d *Dex) {
+			d.Classes[0].Name = "NotADescriptor"
+		}, "bad class descriptor"},
+		{"duplicate method", func(d *Dex) {
+			m := d.Classes[0].Methods[0]
+			d.Classes[0].Methods = append(d.Classes[0].Methods, &Method{Name: m.Name, Sig: m.Sig})
+		}, "duplicate method"},
+		{"register out of frame", func(d *Dex) {
+			d.Classes[0].Methods[0].Code[0].A = 99
+		}, "outside frame"},
+		{"bad branch", func(d *Dex) {
+			m := d.Classes[0].Methods[0]
+			m.Code[5].Target = 1000
+		}, "out of range"},
+		{"params exceed frame", func(d *Dex) {
+			d.Classes[0].Methods[0].NumRegs = 0
+		}, "exceed frame"},
+		{"empty invoke ref", func(d *Dex) {
+			m := d.Classes[0].Methods[0]
+			m.Code[1].Method = MethodRef{}
+		}, "empty method reference"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var d *Dex
+			if c.mutate != nil {
+				var err error
+				d, err = Assemble(sampleAsm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.mutate(d)
+			}
+			err := Verify(d)
+			if err == nil {
+				t.Fatalf("mutated image accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestVerifyAcceptsGeneratedImages: every random image from the
+// round-trip generator verifies (random instrs stay within frames by
+// construction... almost: register 8 frames with Intn(8) operands).
+func TestVerifyAcceptsGeneratedImages(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDex(r)
+		// randomDex uses registers 0..7 and frames ≥ 4: widen frames so
+		// Verify's bound always holds.
+		for _, cls := range d.Classes {
+			for _, m := range cls.Methods {
+				if m.NumRegs < 8 {
+					m.NumRegs = 8
+				}
+			}
+		}
+		return Verify(d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

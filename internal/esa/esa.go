@@ -1,0 +1,296 @@
+// Package esa implements Explicit Semantic Analysis (Gabrilovich &
+// Markovitch) over a built-in privacy-concept knowledge base. Given two
+// texts, each is mapped to a weighted vector of concepts via a TF-IDF
+// inverted index, and their semantic relatedness is the cosine of the
+// two vectors. PPChecker uses it to decide whether two resource phrases
+// refer to the same private information (threshold 0.67, following
+// AutoCog as the paper does).
+package esa
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultThreshold is the similarity threshold the paper adopts.
+const DefaultThreshold = 0.67
+
+// Index is an ESA model: an inverted index from terms to concept
+// weights. It is immutable after construction and safe for concurrent
+// use.
+type Index struct {
+	concepts []string
+	// postings maps a term to its TF-IDF weight in each concept.
+	postings map[string][]posting
+}
+
+type posting struct {
+	concept int
+	weight  float64
+}
+
+// Vector is a sparse concept vector, mapping concept index to weight.
+type Vector map[int]float64
+
+// New builds an ESA index from a knowledge base. An empty KB yields an
+// index on which every similarity is zero.
+func New(kb []Article) *Index {
+	idx := &Index{postings: make(map[string][]posting)}
+	df := map[string]int{}
+	termFreqs := make([]map[string]float64, len(kb))
+	for i, a := range kb {
+		idx.concepts = append(idx.concepts, a.Title)
+		tf := map[string]float64{}
+		terms := Terms(a.Title + " " + a.Text)
+		for _, t := range terms {
+			tf[t]++
+		}
+		// Title terms are strong evidence for the concept.
+		for _, t := range Terms(a.Title) {
+			tf[t] += 3
+		}
+		termFreqs[i] = tf
+		for t := range tf {
+			df[t]++
+		}
+	}
+	n := float64(len(kb))
+	for i, tf := range termFreqs {
+		var norm float64
+		weights := map[string]float64{}
+		for t, f := range tf {
+			w := (1 + math.Log(f)) * math.Log(1+n/float64(df[t]))
+			weights[t] = w
+			norm += w * w
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for t, w := range weights {
+			idx.postings[t] = append(idx.postings[t], posting{concept: i, weight: w / norm})
+		}
+	}
+	// Deterministic postings order.
+	for t := range idx.postings {
+		ps := idx.postings[t]
+		sort.Slice(ps, func(a, b int) bool { return ps[a].concept < ps[b].concept })
+	}
+	return idx
+}
+
+// Default returns an index over the built-in privacy knowledge base.
+// The index is built once and shared.
+func Default() *Index { return defaultIndex }
+
+var defaultIndex = New(BuiltinKB())
+
+// Concepts returns the concept titles of the index, in order.
+func (x *Index) Concepts() []string { return append([]string(nil), x.concepts...) }
+
+// Interpret maps a text to its concept vector.
+func (x *Index) Interpret(text string) Vector {
+	v := Vector{}
+	for _, t := range Terms(text) {
+		for _, p := range x.postings[t] {
+			v[p.concept] += p.weight
+		}
+	}
+	return v
+}
+
+// TopConcept returns the highest-weighted concept title for a text and
+// its weight, or ("", 0) when the text maps to nothing.
+func (x *Index) TopConcept(text string) (string, float64) {
+	v := x.Interpret(text)
+	best, bw := -1, 0.0
+	for c, w := range v {
+		if w > bw || (w == bw && (best < 0 || c < best)) {
+			best, bw = c, w
+		}
+	}
+	if best < 0 {
+		return "", 0
+	}
+	return x.concepts[best], bw
+}
+
+// Classify returns the concept whose axis is closest to the text's
+// concept vector, with the cosine of the vector against that axis
+// (v[c]/‖v‖). Unlike TopConcept's raw weight, the result is
+// length-normalized, so it is comparable against a threshold.
+func (x *Index) Classify(text string) (string, float64) {
+	v := x.Interpret(text)
+	if len(v) == 0 {
+		return "", 0
+	}
+	var norm float64
+	for _, w := range v {
+		norm += w * w
+	}
+	norm = math.Sqrt(norm)
+	best, bw := -1, 0.0
+	for c, w := range v {
+		if w > bw || (w == bw && (best < 0 || c < best)) {
+			best, bw = c, w
+		}
+	}
+	if best < 0 || norm == 0 {
+		return "", 0
+	}
+	return x.concepts[best], bw / norm
+}
+
+// ClassifyWithSupport is Classify plus the number of distinct terms of
+// the text that support the winning concept. Callers that must resist
+// single-word coincidences (a generic word appearing in only one
+// concept yields cosine 1.0) can demand support ≥ 2.
+func (x *Index) ClassifyWithSupport(text string) (string, float64, int) {
+	title, cos := x.Classify(text)
+	if title == "" {
+		return "", 0, 0
+	}
+	concept := -1
+	for i, t := range x.concepts {
+		if t == title {
+			concept = i
+			break
+		}
+	}
+	support := 0
+	seen := map[string]bool{}
+	for _, term := range Terms(text) {
+		if seen[term] {
+			continue
+		}
+		seen[term] = true
+		for _, p := range x.postings[term] {
+			if p.concept == concept {
+				support++
+				break
+			}
+		}
+	}
+	return title, cos, support
+}
+
+// Similarity returns the cosine similarity of the concept vectors of
+// two texts, in [0, 1].
+func (x *Index) Similarity(a, b string) float64 {
+	return Cosine(x.Interpret(a), x.Interpret(b))
+}
+
+// Same reports whether two texts refer to the same thing under the
+// default threshold.
+func (x *Index) Same(a, b string) bool {
+	return x.Similarity(a, b) >= DefaultThreshold
+}
+
+// Cosine computes the cosine similarity of two sparse vectors.
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot, na, nb float64
+	for c, w := range a {
+		na += w * w
+		if w2, ok := b[c]; ok {
+			dot += w * w2
+		}
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	sim := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if sim > 1 { // guard against float drift
+		sim = 1
+	}
+	return sim
+}
+
+// stem conservatively reduces plural nouns to singular so "contacts"
+// and "contact" share a term. It is applied to articles and queries
+// alike, so aggressive correctness is unnecessary — only consistency.
+func stem(t string) string {
+	n := len(t)
+	switch {
+	case n <= 4: // short words ("news", "gps", "bus") are left alone
+		return t
+	case strings.HasSuffix(t, "ies") && n > 4:
+		return t[:n-3] + "y"
+	case strings.HasSuffix(t, "ses") || strings.HasSuffix(t, "xes") ||
+		strings.HasSuffix(t, "zes") || strings.HasSuffix(t, "ches") ||
+		strings.HasSuffix(t, "shes"):
+		return t[:n-2]
+	case strings.HasSuffix(t, "ss") || strings.HasSuffix(t, "us") ||
+		strings.HasSuffix(t, "is"):
+		return t
+	case strings.HasSuffix(t, "s"):
+		return t[:n-1]
+	}
+	return t
+}
+
+// stopTerms are ignored when projecting text onto concepts.
+var stopTerms = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "to": true, "and": true,
+	"or": true, "in": true, "on": true, "for": true, "with": true,
+	"your": true, "our": true, "my": true, "their": true, "his": true,
+	"her": true, "its": true, "we": true, "you": true, "they": true,
+	"is": true, "are": true, "be": true, "will": true, "may": true,
+	"that": true, "this": true, "other": true, "any": true, "all": true,
+	"such": true, "about": true, "from": true, "by": true, "as": true,
+}
+
+// Terms tokenizes text into lowercase terms for the index, dropping
+// stopwords and punctuation. Adjacent content words additionally emit a
+// joined bigram term ("address book" → "address_book") so multiword
+// expressions project onto the right concept instead of spreading over
+// every concept containing one of their words.
+func Terms(text string) []string {
+	uni := unigrams(text)
+	out := make([]string, 0, len(uni)*2)
+	out = append(out, uni...)
+	for i := 0; i+1 < len(uni); i++ {
+		out = append(out, uni[i]+"_"+uni[i+1])
+	}
+	return out
+}
+
+func unigrams(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		t := stem(cur.String())
+		cur.Reset()
+		if !stopTerms[t] && len(t) > 1 || t == "ip" || t == "id" || t == "os" {
+			out = append(out, t)
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			cur.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			cur.WriteByte(c + 32)
+		case c == '-' || c == '\'':
+			// treat as separator: "e-mail" → "e", "mail"
+			flush()
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,57 @@
+package esa
+
+// The knowledge base plays the role Wikipedia plays in classic Explicit
+// Semantic Analysis: a set of concept articles against which arbitrary
+// text is projected. PPChecker only ever asks ESA one question — do two
+// resource phrases refer to the same private information? — so the KB is
+// a privacy-domain corpus: one article per information concept plus
+// distractor articles so unrelated phrases score low.
+
+// Article is one concept document.
+type Article struct {
+	Title string
+	Text  string
+}
+
+// BuiltinKB returns the default privacy-domain knowledge base.
+func BuiltinKB() []Article {
+	return []Article{
+		{"location", `location geolocation geographic position place gps latitude longitude coordinates precise location coarse location approximate location current location last known location whereabouts geo location location data location information cell tower wifi positioning region country city postal area movement route map nearby`},
+		{"contact", `contact contacts address book phonebook contact list people entries contact information contact data friends acquaintances contact entries phone book stored contacts contact names contact numbers contact details`},
+		{"phone number", `phone number telephone number mobile number cell number msisdn caller number phone digits number dialed real phone number calling number sim number line number`},
+		{"device identifier", `device identifier device id unique device identifier imei udid hardware id android id serial number device serial handset identifier equipment identity device fingerprint identifier unique id advertising identifier`},
+		{"ip address", `ip address internet protocol address network address ipv4 ipv6 host address ip connection address routing address internet address`},
+		{"cookie", `cookie cookies web cookie browser cookie tracking cookie session cookie pixel tag beacon local storage identifier token stored by browser`},
+		{"email address", `email address e-mail address electronic mail address mailbox email account mail address contact email inbox address correspondence address`},
+		{"name", `name full name first name last name surname given name username user name real name display name nickname personal name identity name`},
+		{"account", `account user account profile account information credentials login account data registered account account contents account details user profile sign in password authentication`},
+		{"calendar", `calendar calendar entries events appointments schedule agenda meeting reminders calendar data calendar information dates planner`},
+		{"camera", `camera photo photograph picture image snapshot lens video capture photos taken camera roll gallery shooting pictures camera data`},
+		{"audio", `audio microphone voice sound recording speech record audio mic capture sound audio data voice data listening recordings`},
+		{"sms", `sms text message short message messages mms message content message body text messages sent received messaging sms data inbox messages`},
+		{"call log", `call log call history phone calls dialed calls received calls missed calls call records call duration calling history call data`},
+		{"app list", `app list installed applications installed apps package list application inventory running apps software list installed packages applications on device app usage`},
+		{"browsing history", `browsing history web history pages visited urls visited browser history navigation history sites viewed search history clicks visited links`},
+		{"age", `age date of birth birthday birth date years old birth year demographic age age information`},
+		{"gender", `gender sex male female demographic gender identity`},
+		{"social graph", `social graph friend list connections followers social network relationships`},
+		{"advertising id", `advertising id ad identifier advertising identifier marketing id ad tracking identifier idfa gaid personalized ads identifier`},
+		{"wifi", `wifi wireless network ssid access point network name wifi state wifi connection hotspot wireless information`},
+		{"bluetooth", `bluetooth paired devices bluetooth devices short range wireless bluetooth connection nearby devices`},
+		{"personal information", `personal information personal data personally identifiable information pii private information user information individual data personal details information about you your information private data sensitive information user data information data`},
+		{"technical information", `technical information device model operating system version platform os hardware model carrier network operator system language screen resolution build version technical data`},
+		{"usage information", `usage information usage data analytics interaction statistics feature usage session length clicks taps events crash reports diagnostics performance logs`},
+		// distractor concepts: text about services, legal language, and
+		// generic app behaviour that should NOT match private resources.
+		{"service", `service services functionality features offering product experience improve service provide service quality maintenance support operation`},
+		{"advertisement", `advertisement ads advertising campaign banner interstitial sponsored promotion marketing commercial ad network ad serving`},
+		{"legal", `law regulation compliance legal obligation court subpoena enforcement statute act requirement jurisdiction liability terms conditions agreement`},
+		{"security", `security protection safeguard encryption secure transmission integrity confidentiality breach unauthorized access firewall measures`},
+		{"payment", `payment billing purchase transaction credit card invoice price subscription checkout order refund`},
+		{"company", `company business corporation partner affiliate subsidiary third party vendor provider organization entity firm`},
+		{"website", `website site web page homepage portal link url domain visit browse internet site online`},
+		{"weather", `weather forecast temperature rain snow wind climate conditions humidity`},
+		{"game", `game play level score player match puzzle arcade gaming entertainment fun`},
+		{"document", `document file report spreadsheet text page content attachment folder storage`},
+	}
+}

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ppchecker/internal/patterns"
+	"ppchecker/internal/synth"
+)
+
+// Fig12Point is one sample of the pattern-count sweep.
+type Fig12Point struct {
+	N      int
+	FNRate float64
+	FPRate float64
+}
+
+// Fig12Result is the §V-B experiment outcome.
+type Fig12Result struct {
+	Points []Fig12Point
+	// TotalPatterns is the number of patterns the bootstrap mined.
+	TotalPatterns int
+	// BestN is the largest pattern count minimizing FN+FP — the
+	// paper's selection rule resolved over the plateau.
+	BestN  int
+	BestFN float64
+	BestFP float64
+}
+
+// RunFig12 mines patterns from the corpus, ranks them against the
+// labelled sets, and sweeps the pattern count n, reproducing Fig. 12.
+func RunFig12(data *synth.Fig12Data) *Fig12Result {
+	corpus := patterns.ParseCorpus(data.Corpus)
+	miner := patterns.NewMiner()
+	pats := miner.Mine(corpus)
+	pos := patterns.ParseCorpus(data.Positive)
+	neg := patterns.ParseCorpus(data.Negative)
+	scored := patterns.Rank(pats, pos, neg)
+
+	// Realized pattern keys per labelled sentence.
+	keysOf := func(set []patterns.ParsedSentence) []map[string]bool {
+		out := make([]map[string]bool, len(set))
+		for i, ps := range set {
+			ks := map[string]bool{}
+			for _, c := range patterns.Extract(ps.Parse) {
+				ks[c.Pattern.Key()] = true
+			}
+			out[i] = ks
+		}
+		return out
+	}
+	posKeys := keysOf(pos)
+	negKeys := keysOf(neg)
+
+	// key → labelled sentence indices, for incremental sweeping.
+	posIdx := map[string][]int{}
+	negIdx := map[string][]int{}
+	for i, ks := range posKeys {
+		for k := range ks {
+			posIdx[k] = append(posIdx[k], i)
+		}
+	}
+	for i, ks := range negKeys {
+		for k := range ks {
+			negIdx[k] = append(negIdx[k], i)
+		}
+	}
+
+	res := &Fig12Result{TotalPatterns: len(scored)}
+	posMatched := make([]bool, len(pos))
+	negMatched := make([]bool, len(neg))
+	nPos, nNeg := 0, 0
+	minSum := 2.0
+	for n := 1; n <= len(scored); n++ {
+		key := scored[n-1].Pattern.Key()
+		for _, i := range posIdx[key] {
+			if !posMatched[i] {
+				posMatched[i] = true
+				nPos++
+			}
+		}
+		for _, i := range negIdx[key] {
+			if !negMatched[i] {
+				negMatched[i] = true
+				nNeg++
+			}
+		}
+		fn := 1 - float64(nPos)/float64(len(pos))
+		fp := float64(nNeg) / float64(len(neg))
+		res.Points = append(res.Points, Fig12Point{N: n, FNRate: fn, FPRate: fp})
+		if fn+fp <= minSum {
+			minSum = fn + fp
+			res.BestN = n
+			res.BestFN = fn
+			res.BestFP = fp
+		}
+	}
+	return res
+}
+
+// RenderFig12 prints the sweep as a text chart sampled every step
+// points, with the optimum marked.
+func RenderFig12(r *Fig12Result, step int) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12: false positive rate and false negative rate vs number of patterns\n")
+	fmt.Fprintf(&b, "%6s %8s %8s\n", "n", "FN-rate", "FP-rate")
+	for i, p := range r.Points {
+		if i%step != 0 && p.N != r.BestN && i != len(r.Points)-1 {
+			continue
+		}
+		mark := ""
+		if p.N == r.BestN {
+			mark = "  <= selected (min FN+FP)"
+		}
+		fmt.Fprintf(&b, "%6d %7.1f%% %7.1f%%%s\n", p.N, 100*p.FNRate, 100*p.FPRate, mark)
+	}
+	fmt.Fprintf(&b, "selected n = %d with detection rate %.1f%% (FN %.1f%%) and FP %.1f%%\n",
+		r.BestN, 100*(1-r.BestFN), 100*r.BestFN, 100*r.BestFP)
+	return b.String()
+}
+
+// WriteCSV emits the sweep as CSV (n, fn_rate, fp_rate) for external
+// plotting of the actual figure.
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "n,fn_rate,fp_rate"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f\n", p.N, p.FNRate, p.FPRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}

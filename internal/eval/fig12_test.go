@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"ppchecker/internal/synth"
+)
+
+// TestFig12MatchesPaper pins the pattern-selection experiment to the
+// paper's §V-B outcome: n is set to 230 with detecting rate 88.0%
+// (false negative rate 12%) and false positive rate 2.8%.
+func TestFig12MatchesPaper(t *testing.T) {
+	data := synth.GenerateFig12(synth.DefaultFig12Config())
+	if len(data.Positive) != 250 || len(data.Negative) != 250 {
+		t.Fatalf("labelled sets = %d/%d, want 250/250", len(data.Positive), len(data.Negative))
+	}
+	r := RunFig12(data)
+	t.Logf("\n%s", RenderFig12(r, 20))
+	if r.BestN != 230 {
+		t.Errorf("selected n = %d, want 230", r.BestN)
+	}
+	if fn := 100 * r.BestFN; fn < 11.5 || fn > 12.5 {
+		t.Errorf("FN rate = %.1f%%, want 12.0%%", fn)
+	}
+	if fp := 100 * r.BestFP; fp < 2.3 || fp > 3.3 {
+		t.Errorf("FP rate = %.1f%%, want 2.8%%", fp)
+	}
+	// Curve shape: FN monotonically non-increasing; FP non-decreasing.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FNRate > r.Points[i-1].FNRate+1e-9 {
+			t.Fatalf("FN rate increased at n=%d", r.Points[i].N)
+		}
+		if r.Points[i].FPRate < r.Points[i-1].FPRate-1e-9 {
+			t.Fatalf("FP rate decreased at n=%d", r.Points[i].N)
+		}
+	}
+	// Past the optimum the FP rate must rise (the junk-pattern tail).
+	last := r.Points[len(r.Points)-1]
+	if last.FPRate <= r.BestFP {
+		t.Errorf("FP rate does not rise past the optimum: %.3f", last.FPRate)
+	}
+	if !strings.Contains(RenderFig12(r, 20), "selected n = 230") {
+		t.Error("render does not report the selected n")
+	}
+}

@@ -1,0 +1,46 @@
+// Package eval runs PPChecker over the synthetic corpus and
+// regenerates every table and figure of the paper's §V, comparing
+// detection output against the generator's ground truth with the same
+// metrics the paper uses (precision, recall, F1).
+package eval
+
+import "fmt"
+
+// Confusion is a binary confusion count.
+type Confusion struct {
+	TP, FP, FN int
+}
+
+// Precision = TP / (TP + FP).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall = TP / (TP + FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Detected = TP + FP.
+func (c Confusion) Detected() int { return c.TP + c.FP }
+
+// String renders the confusion with derived metrics.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d P=%.1f%% R=%.1f%% F1=%.1f%%",
+		c.TP, c.FP, c.FN, 100*c.Precision(), 100*c.Recall(), 100*c.F1())
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	// The paper's Table IV CUR row: TP 41, FP 5, recall 91.7% implies
+	// FN ≈ 4 on the sample.
+	c := Confusion{TP: 41, FP: 5, FN: 4}
+	if p := c.Precision(); math.Abs(p-0.891) > 0.001 {
+		t.Errorf("precision = %.3f", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.911) > 0.001 {
+		t.Errorf("recall = %.3f", r)
+	}
+	if f := c.F1(); math.Abs(f-0.901) > 0.001 {
+		t.Errorf("f1 = %.3f", f)
+	}
+	if c.Detected() != 46 {
+		t.Errorf("detected = %d", c.Detected())
+	}
+	if !strings.Contains(c.String(), "TP=41") {
+		t.Errorf("string = %q", c.String())
+	}
+}
+
+func TestConfusionZeroSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("zero confusion produced NaN-adjacent values")
+	}
+}
+
+// TestF1Bounds: F1 lies between min and max of precision/recall and
+// within [0,1].
+func TestF1Bounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-9 && f1 <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	var c Confusion
+	classify(&c, true, true)
+	classify(&c, true, false)
+	classify(&c, false, true)
+	classify(&c, false, false) // true negative: uncounted
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tab := TableIV{CUR: Confusion{TP: 41, FP: 5, FN: 4}, Disclose: Confusion{TP: 39, FP: 4, FN: 3}}
+	out := RenderTableIV(tab)
+	for _, want := range []string{"collect,use,retain", "disclose", "89.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV render missing %q:\n%s", want, out)
+		}
+	}
+	rows := []PermCount{{Permission: "android.permission.CAMERA", Apps: 6}}
+	if !strings.Contains(RenderTableIII(rows), "CAMERA") {
+		t.Error("Table III render missing permission")
+	}
+	bars := []InfoCount{{Info: "location", Records: 3, Retained: 1}}
+	fig := RenderFig13(bars)
+	if !strings.Contains(fig, "location") || !strings.Contains(fig, "###*") {
+		t.Errorf("Fig 13 render = %q", fig)
+	}
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/core"
+	"ppchecker/internal/synth"
+)
+
+// EvaluateCorpusParallel is EvaluateCorpus fanned out over a worker
+// pool. A Checker is not safe for concurrent use (it memoizes library
+// policy analyses), so each worker owns one; results land at their
+// app's index, keeping output identical to the serial path.
+func EvaluateCorpusParallel(ds *synth.Dataset, workers int, opts ...core.CheckerOption) *CorpusResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ds.Apps) {
+		workers = len(ds.Apps)
+	}
+	if workers <= 1 {
+		return EvaluateCorpus(ds, opts...)
+	}
+	res := &CorpusResult{
+		Reports: make([]*core.Report, len(ds.Apps)),
+		Truths:  make([]synth.GroundTruth, len(ds.Apps)),
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			checker := core.NewChecker(opts...)
+			for i := range jobs {
+				res.Reports[i] = checker.Check(ds.Apps[i].App)
+				res.Truths[i] = ds.Apps[i].Truth
+			}
+		}()
+	}
+	for i := range ds.Apps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+// EvaluateCorpusDir evaluates a corpus previously written to disk by
+// cmd/ppgen (or bundle.WriteDataset): app bundles are loaded, checked,
+// and paired with the stored ground truth.
+func EvaluateCorpusDir(dir string, opts ...core.CheckerOption) (*CorpusResult, error) {
+	truths, err := bundle.ReadTruth(dir)
+	if err != nil {
+		return nil, err
+	}
+	truthByPkg := make(map[string]synth.GroundTruth, len(truths))
+	for _, t := range truths {
+		truthByPkg[t.Pkg] = t.Truth
+	}
+	appDirs, err := bundle.ListApps(dir)
+	if err != nil {
+		return nil, err
+	}
+	checker := core.NewChecker(opts...)
+	res := &CorpusResult{}
+	libsDir := dir + "/libs"
+	for _, appDir := range appDirs {
+		app, err := bundle.ReadApp(appDir, libsDir)
+		if err != nil {
+			return nil, err
+		}
+		res.Reports = append(res.Reports, checker.Check(app))
+		res.Truths = append(res.Truths, truthByPkg[app.Name])
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/synth"
+)
+
+// TestParallelMatchesSerial: the worker-pool path produces identical
+// reports to the serial path.
+func TestParallelMatchesSerial(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := EvaluateCorpus(ds)
+	parallel := EvaluateCorpusParallel(ds, 4)
+	if len(serial.Reports) != len(parallel.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(serial.Reports), len(parallel.Reports))
+	}
+	for i := range serial.Reports {
+		if serial.Reports[i].Summary() != parallel.Reports[i].Summary() {
+			t.Fatalf("app %d differs:\n%s\nvs\n%s", i,
+				serial.Reports[i].Summary(), parallel.Reports[i].Summary())
+		}
+	}
+	if serial.Summary() != parallel.Summary() {
+		t.Fatalf("summaries differ: %+v vs %+v", serial.Summary(), parallel.Summary())
+	}
+}
+
+// TestParallelWorkerClamping: degenerate worker counts fall back
+// safely.
+func TestParallelWorkerClamping(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &synth.Dataset{Apps: ds.Apps[:3], LibPolicies: ds.LibPolicies}
+	for _, workers := range []int{-1, 0, 1, 100} {
+		res := EvaluateCorpusParallel(small, workers)
+		if len(res.Reports) != 3 {
+			t.Fatalf("workers=%d: %d reports", workers, len(res.Reports))
+		}
+	}
+}
+
+// TestEvaluateCorpusDir: evaluation from a corpus written to disk
+// matches in-memory evaluation.
+func TestEvaluateCorpusDir(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &synth.Dataset{Apps: ds.Apps[:25], LibPolicies: ds.LibPolicies}
+	dir := t.TempDir()
+	if err := bundle.WriteDataset(small, dir); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := EvaluateCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromDisk.Reports) != 25 {
+		t.Fatalf("reports = %d", len(fromDisk.Reports))
+	}
+	inMem := EvaluateCorpus(small)
+	// Disk order is lexicographic by package; compare per-app by name.
+	bySummary := map[string]string{}
+	for _, r := range inMem.Reports {
+		bySummary[r.App] = r.Summary()
+	}
+	for _, r := range fromDisk.Reports {
+		if want, ok := bySummary[r.App]; !ok || want != r.Summary() {
+			t.Fatalf("app %s differs from in-memory result", r.App)
+		}
+	}
+	if _, err := EvaluateCorpusDir(filepath.Join(dir, "nonexistent")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RecallSample reproduces the paper's §V-E false-negative methodology:
+// rather than inspecting the whole corpus, 200 apps are sampled, every
+// real inconsistency among them is established (here from ground
+// truth, there by manual inspection), and recall is the detected
+// fraction.
+type RecallSample struct {
+	SampleSize int
+	CUR        Confusion
+	Disclose   Confusion
+}
+
+// RunRecallSample draws a seeded 200-app sample and computes recall
+// within it.
+func (r *CorpusResult) RunRecallSample(seed int64, size int) RecallSample {
+	if size > len(r.Reports) {
+		size = len(r.Reports)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(r.Reports))[:size]
+	out := RecallSample{SampleSize: size}
+	for _, i := range perm {
+		rep := r.Reports[i]
+		truth := r.Truths[i]
+		detCUR, detDisc := false, false
+		for _, f := range rep.Inconsistent {
+			if f.Disclose() {
+				detDisc = true
+			} else {
+				detCUR = true
+			}
+		}
+		classify(&out.CUR, detCUR, truth.InconsistCUR)
+		classify(&out.Disclose, detDisc, truth.InconsistDisc)
+	}
+	return out
+}
+
+// Render prints the sample the way §V-E reports it.
+func (s RecallSample) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recall check on a %d-app sample (§V-E methodology):\n", s.SampleSize)
+	fmt.Fprintf(&b, "  Sents{collect,use,retain}: %d actual, %d detected (recall %.1f%%)\n",
+		s.CUR.TP+s.CUR.FN, s.CUR.TP, 100*s.CUR.Recall())
+	fmt.Fprintf(&b, "  Sents{disclose}:           %d actual, %d detected (recall %.1f%%)\n",
+		s.Disclose.TP+s.Disclose.FN, s.Disclose.TP, 100*s.Disclose.Recall())
+	return b.String()
+}

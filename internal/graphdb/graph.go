@@ -1,0 +1,253 @@
+// Package graphdb is a small in-memory property-graph database. The
+// paper stores the Android Property Graph in a graph database and
+// answers every static-analysis question as a graph query; this package
+// provides the same contract: labelled nodes with string properties,
+// labelled edges, property indexes, traversals, reachability, and path
+// search.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node.
+type NodeID int64
+
+// Node is a labelled node with properties.
+type Node struct {
+	ID    NodeID
+	Label string
+	Props map[string]string
+}
+
+// Prop returns a property value ("" when absent).
+func (n *Node) Prop(key string) string { return n.Props[key] }
+
+// Edge is a directed labelled edge.
+type Edge struct {
+	From, To NodeID
+	Label    string
+}
+
+// Graph is the database. It is not safe for concurrent mutation;
+// concurrent reads are safe after construction.
+type Graph struct {
+	nodes   map[NodeID]*Node
+	out     map[NodeID][]Edge
+	in      map[NodeID][]Edge
+	byLabel map[string][]NodeID
+	// indexes[key][value] lists nodes with Props[key]==value, for keys
+	// registered via CreateIndex.
+	indexes map[string]map[string][]NodeID
+	nextID  NodeID
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:   map[NodeID]*Node{},
+		out:     map[NodeID][]Edge{},
+		in:      map[NodeID][]Edge{},
+		byLabel: map[string][]NodeID{},
+		indexes: map[string]map[string][]NodeID{},
+	}
+}
+
+// AddNode inserts a node and returns its id. props may be nil.
+func (g *Graph) AddNode(label string, props map[string]string) NodeID {
+	g.nextID++
+	id := g.nextID
+	if props == nil {
+		props = map[string]string{}
+	}
+	n := &Node{ID: id, Label: label, Props: props}
+	g.nodes[id] = n
+	g.byLabel[label] = append(g.byLabel[label], id)
+	for key, byVal := range g.indexes {
+		if v, ok := props[key]; ok {
+			byVal[v] = append(byVal[v], id)
+		}
+	}
+	return id
+}
+
+// AddEdge inserts a directed edge. Both endpoints must exist.
+func (g *Graph) AddEdge(from, to NodeID, label string) error {
+	if g.nodes[from] == nil {
+		return fmt.Errorf("graphdb: edge from unknown node %d", from)
+	}
+	if g.nodes[to] == nil {
+		return fmt.Errorf("graphdb: edge to unknown node %d", to)
+	}
+	e := Edge{From: from, To: to, Label: label}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// Node returns a node by id (nil when absent).
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// NodesByLabel returns node ids with the given label, in insertion
+// order.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	return append([]NodeID(nil), g.byLabel[label]...)
+}
+
+// CreateIndex registers a property key for indexed lookup; existing
+// nodes are back-filled.
+func (g *Graph) CreateIndex(key string) {
+	if _, ok := g.indexes[key]; ok {
+		return
+	}
+	byVal := map[string][]NodeID{}
+	var ids []NodeID
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if v, ok := g.nodes[id].Props[key]; ok {
+			byVal[v] = append(byVal[v], id)
+		}
+	}
+	g.indexes[key] = byVal
+}
+
+// FindByProp returns nodes whose property key equals value, using the
+// index when available and a label-agnostic scan otherwise.
+func (g *Graph) FindByProp(key, value string) []NodeID {
+	if byVal, ok := g.indexes[key]; ok {
+		return append([]NodeID(nil), byVal[value]...)
+	}
+	var out []NodeID
+	var ids []NodeID
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if g.nodes[id].Props[key] == value {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Out returns the targets of edges leaving id; label == "" matches all.
+func (g *Graph) Out(id NodeID, label string) []NodeID {
+	var out []NodeID
+	for _, e := range g.out[id] {
+		if label == "" || e.Label == label {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// In returns the sources of edges entering id; label == "" matches all.
+func (g *Graph) In(id NodeID, label string) []NodeID {
+	var out []NodeID
+	for _, e := range g.in[id] {
+		if label == "" || e.Label == label {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// OutEdges returns copies of the outgoing edges of id.
+func (g *Graph) OutEdges(id NodeID) []Edge { return append([]Edge(nil), g.out[id]...) }
+
+// Reachable computes the forward closure from the seed set following
+// edges whose label is in labels (nil = all labels).
+func (g *Graph) Reachable(seeds []NodeID, labels []string) map[NodeID]bool {
+	allow := labelSet(labels)
+	seen := map[NodeID]bool{}
+	queue := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if g.nodes[s] != nil && !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[cur] {
+			if allow != nil && !allow[e.Label] {
+				continue
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Path returns one shortest path from from to to following edges whose
+// label is in labels (nil = all), or nil when unreachable.
+func (g *Graph) Path(from, to NodeID, labels []string) []NodeID {
+	if g.nodes[from] == nil || g.nodes[to] == nil {
+		return nil
+	}
+	allow := labelSet(labels)
+	prev := map[NodeID]NodeID{from: from}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			break
+		}
+		for _, e := range g.out[cur] {
+			if allow != nil && !allow[e.Label] {
+				continue
+			}
+			if _, seen := prev[e.To]; !seen {
+				prev[e.To] = cur
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if _, ok := prev[to]; !ok {
+		return nil
+	}
+	var path []NodeID
+	for cur := to; ; cur = prev[cur] {
+		path = append(path, cur)
+		if cur == from {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func labelSet(labels []string) map[string]bool {
+	if labels == nil {
+		return nil
+	}
+	m := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		m[l] = true
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package graphdb
+
+// Query is a fluent traversal over the graph, mirroring how the paper
+// phrases its analyses ("by querying the graph database"). A query
+// holds a frontier of node ids that each step transforms.
+type Query struct {
+	g        *Graph
+	frontier []NodeID
+}
+
+// Query starts a traversal over all nodes with the given label.
+func (g *Graph) Query(label string) *Query {
+	return &Query{g: g, frontier: g.NodesByLabel(label)}
+}
+
+// QueryFrom starts a traversal from explicit seeds.
+func (g *Graph) QueryFrom(ids ...NodeID) *Query {
+	return &Query{g: g, frontier: append([]NodeID(nil), ids...)}
+}
+
+// Where keeps nodes whose property key equals value.
+func (q *Query) Where(key, value string) *Query {
+	var keep []NodeID
+	for _, id := range q.frontier {
+		if n := q.g.Node(id); n != nil && n.Props[key] == value {
+			keep = append(keep, id)
+		}
+	}
+	q.frontier = keep
+	return q
+}
+
+// WhereFunc keeps nodes satisfying the predicate.
+func (q *Query) WhereFunc(pred func(*Node) bool) *Query {
+	var keep []NodeID
+	for _, id := range q.frontier {
+		if n := q.g.Node(id); n != nil && pred(n) {
+			keep = append(keep, id)
+		}
+	}
+	q.frontier = keep
+	return q
+}
+
+// Out replaces the frontier with targets of edges having the label
+// ("" = any), deduplicated in first-seen order.
+func (q *Query) Out(label string) *Query {
+	q.frontier = dedupe(q.expand(label, true))
+	return q
+}
+
+// In replaces the frontier with sources of edges having the label.
+func (q *Query) In(label string) *Query {
+	q.frontier = dedupe(q.expand(label, false))
+	return q
+}
+
+func (q *Query) expand(label string, forward bool) []NodeID {
+	var next []NodeID
+	for _, id := range q.frontier {
+		if forward {
+			next = append(next, q.g.Out(id, label)...)
+		} else {
+			next = append(next, q.g.In(id, label)...)
+		}
+	}
+	return next
+}
+
+// Collect returns the frontier node ids.
+func (q *Query) Collect() []NodeID { return append([]NodeID(nil), q.frontier...) }
+
+// Nodes returns the frontier nodes.
+func (q *Query) Nodes() []*Node {
+	out := make([]*Node, 0, len(q.frontier))
+	for _, id := range q.frontier {
+		if n := q.g.Node(id); n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Count returns the frontier size.
+func (q *Query) Count() int { return len(q.frontier) }
+
+func dedupe(ids []NodeID) []NodeID {
+	seen := make(map[NodeID]bool, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

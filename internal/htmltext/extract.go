@@ -1,0 +1,241 @@
+// Package htmltext extracts readable text from HTML privacy policies.
+//
+// It plays the role Beautiful Soup plays in the paper (§III-B Step 1):
+// given a privacy policy published as an HTML page, it strips markup,
+// drops script/style/head content, decodes character entities, removes
+// non-ASCII symbols and meaningless ASCII control characters, and returns
+// plain text suitable for sentence splitting.
+package htmltext
+
+import (
+	"strings"
+)
+
+// blockTags are elements whose boundaries imply a text break. Without
+// this, "<p>We collect data.</p><p>We share it.</p>" would glue the
+// period of one paragraph to the first word of the next.
+var blockTags = map[string]bool{
+	"p": true, "div": true, "br": true, "li": true, "ul": true, "ol": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"tr": true, "td": true, "th": true, "table": true, "section": true,
+	"article": true, "header": true, "footer": true, "blockquote": true,
+}
+
+// skipTags are elements whose entire content is dropped.
+var skipTags = map[string]bool{
+	"script": true, "style": true, "head": true, "noscript": true,
+	"iframe": true, "svg": true, "title": true,
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "mdash": "-", "ndash": "-", "hellip": "...",
+	"rsquo": "'", "lsquo": "'", "rdquo": `"`, "ldquo": `"`, "copy": "",
+	"reg": "", "trade": "", "bull": " ", "middot": " ", "sect": " ",
+}
+
+// Extract returns the readable text of an HTML document. It also accepts
+// plain text (documents with no markup pass through unchanged apart from
+// whitespace normalisation and the ASCII scrub).
+func Extract(html string) string {
+	var b strings.Builder
+	b.Grow(len(html))
+	i := 0
+	n := len(html)
+	var skipUntil string // inside a skip tag: its name, until matching close
+	for i < n {
+		c := html[i]
+		switch {
+		case c == '<':
+			name, attrs, closing, selfClose, next := parseTag(html, i)
+			if next == i { // malformed "<": treat literally
+				if skipUntil == "" {
+					b.WriteByte(c)
+				}
+				i++
+				continue
+			}
+			_ = attrs
+			i = next
+			lower := strings.ToLower(name)
+			if skipUntil != "" {
+				if closing && lower == skipUntil {
+					skipUntil = ""
+				}
+				continue
+			}
+			if !closing && skipTags[lower] && !selfClose {
+				skipUntil = lower
+				continue
+			}
+			if blockTags[lower] {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		case c == '&':
+			s, next := parseEntity(html, i)
+			if skipUntil == "" {
+				b.WriteString(s)
+			}
+			i = next
+		default:
+			if skipUntil == "" {
+				b.WriteByte(c)
+			}
+			i++
+		}
+	}
+	return Scrub(b.String())
+}
+
+// parseTag parses a tag starting at html[i]=='<'. It returns the tag
+// name, its raw attribute text, whether it is a closing tag, whether it
+// is self-closing, and the index just past '>'. If no '>' is found the
+// returned next equals i, signalling a literal '<'.
+func parseTag(html string, i int) (name, attrs string, closing, selfClose bool, next int) {
+	end := strings.IndexByte(html[i:], '>')
+	if end < 0 {
+		return "", "", false, false, i
+	}
+	inner := html[i+1 : i+end]
+	next = i + end + 1
+	inner = strings.TrimSpace(inner)
+	if strings.HasPrefix(inner, "!--") { // comment
+		// Comments may contain '>'; find the real end.
+		cend := strings.Index(html[i:], "-->")
+		if cend >= 0 {
+			next = i + cend + 3
+		}
+		return "!--", "", false, true, next
+	}
+	if strings.HasPrefix(inner, "!") || strings.HasPrefix(inner, "?") {
+		return "!", "", false, true, next
+	}
+	if strings.HasPrefix(inner, "/") {
+		closing = true
+		inner = strings.TrimSpace(inner[1:])
+	}
+	if strings.HasSuffix(inner, "/") {
+		selfClose = true
+		inner = strings.TrimSpace(inner[:len(inner)-1])
+	}
+	sp := strings.IndexAny(inner, " \t\r\n")
+	if sp < 0 {
+		name = inner
+	} else {
+		name = inner[:sp]
+		attrs = inner[sp+1:]
+	}
+	return name, attrs, closing, selfClose, next
+}
+
+// parseEntity decodes an HTML entity starting at html[i]=='&'. It
+// returns the decoded text and the index just past the entity. Unknown
+// entities are dropped; a bare '&' is kept.
+func parseEntity(html string, i int) (string, int) {
+	end := i + 1
+	limit := i + 10
+	if limit > len(html) {
+		limit = len(html)
+	}
+	for end < limit && html[end] != ';' {
+		end++
+	}
+	if end >= limit || html[end] != ';' {
+		return "&", i + 1
+	}
+	body := html[i+1 : end]
+	if strings.HasPrefix(body, "#") {
+		// Numeric entity: keep printable ASCII only.
+		var code int
+		numeric := body[1:]
+		base := 10
+		if strings.HasPrefix(numeric, "x") || strings.HasPrefix(numeric, "X") {
+			base = 16
+			numeric = numeric[1:]
+		}
+		for _, r := range numeric {
+			d := digitVal(byte(r), base)
+			if d < 0 {
+				return "", end + 1
+			}
+			code = code*base + d
+			if code > 0x10FFFF {
+				return "", end + 1
+			}
+		}
+		if code >= 32 && code < 127 {
+			return string(rune(code)), end + 1
+		}
+		return " ", end + 1
+	}
+	if s, ok := entities[strings.ToLower(body)]; ok {
+		return s, end + 1
+	}
+	return "", end + 1
+}
+
+func digitVal(c byte, base int) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case base == 16 && c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case base == 16 && c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// Scrub removes non-ASCII bytes and meaningless ASCII symbols, and
+// collapses runs of whitespace, mirroring the cleaning step the paper
+// applies after content extraction. Newlines are preserved as sentence
+// hints; other whitespace collapses to single spaces.
+func Scrub(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true
+	lastNL := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\n':
+			if !lastNL {
+				b.WriteByte('\n')
+				lastNL = true
+				lastSpace = true
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		case c >= 32 && c < 127 && meaningful(c):
+			b.WriteByte(c)
+			lastSpace = false
+			lastNL = false
+		default:
+			// non-ASCII or meaningless: treated as a soft space
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// meaningful reports whether an ASCII character carries meaning for
+// policy text. Letters, digits and the punctuation the sentence splitter
+// and parser understand are kept; decorative symbols are dropped.
+func meaningful(c byte) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+		return true
+	}
+	switch c {
+	case '.', ',', ';', ':', '!', '?', '\'', '"', '(', ')', '-', '/', '&', '%', '$', '@', '_', ' ':
+		return true
+	}
+	return false
+}

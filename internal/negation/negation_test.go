@@ -1,0 +1,78 @@
+package negation
+
+import (
+	"testing"
+
+	"ppchecker/internal/nlp"
+)
+
+func TestIsNegative(t *testing.T) {
+	cases := map[string]bool{
+		// the paper's two negation sites (§III-B Step 5)
+		"we will not collect information":           true,
+		"nothing will be collected":                 true,
+		"we will never share your contacts":         true,
+		"no personal information will be collected": true,
+		"we collect your location":                  false,
+		"your information will be used":             false,
+		"we will share your data with partners":     false,
+		// negative verbs / adjectives
+		"we are unable to collect your location": true,
+		// hardly/rarely class
+		"we hardly collect your data": true,
+		// do-support
+		"we do not sell your personal information": true,
+		// cannot as a single token
+		"we cannot collect your location": true,
+	}
+	for sent, want := range cases {
+		p := nlp.ParseSentence(sent)
+		if got := IsNegative(p); got != want {
+			t.Errorf("IsNegative(%q) = %v, want %v (root %d)", sent, got, want, p.Root)
+		}
+	}
+}
+
+func TestDoubleNegationTogglesBack(t *testing.T) {
+	// "not refuse to share" — two negation markers cancel.
+	p := nlp.ParseSentence("we will not refuse to share your data")
+	if IsNegative(p) {
+		t.Fatalf("double negation reported negative")
+	}
+}
+
+func TestIsNegativeNilSafe(t *testing.T) {
+	if IsNegative(nil) {
+		t.Fatal("nil parse negative")
+	}
+	p := nlp.ParseSentence("privacy policy") // no predicate
+	if IsNegative(p) {
+		t.Fatal("rootless parse negative")
+	}
+}
+
+func TestIsNegWordClasses(t *testing.T) {
+	for _, w := range []string{"not", "never", "no", "nothing", "unable", "prevent", "hardly"} {
+		if !IsNegWord(w) {
+			t.Errorf("IsNegWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"collect", "always", "yes", "information"} {
+		if IsNegWord(w) {
+			t.Errorf("IsNegWord(%q) = true", w)
+		}
+	}
+}
+
+func TestContainsNegation(t *testing.T) {
+	if !ContainsNegation("We will not collect anything.") {
+		t.Fatal("negation missed")
+	}
+	if ContainsNegation("We will collect your location.") {
+		t.Fatal("false negation")
+	}
+	// punctuation-attached negation words
+	if !ContainsNegation("Never! We promise.") {
+		t.Fatal("punctuated negation missed")
+	}
+}

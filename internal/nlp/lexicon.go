@@ -1,0 +1,324 @@
+package nlp
+
+import "strings"
+
+// The lexicon assigns the most likely tag to known words of the privacy
+// policy register. Unknown words fall back to suffix heuristics in the
+// tagger. Verb entries are generated from lemma lists so every inflected
+// form is known and can be lemmatized back.
+
+// regularVerbLemmas are verbs inflected by regular rules. The list is
+// biased toward the verbs that occur in privacy policies: the four main
+// verb categories of the paper plus their common neighbours.
+var regularVerbLemmas = []string{
+	// collect category and friends
+	"collect", "gather", "obtain", "acquire", "access", "receive", "record",
+	"request", "solicit", "track", "monitor", "capture", "scan", "log",
+	// use category
+	"use", "process", "utilize", "employ", "analyze", "analyse", "combine",
+	"aggregate", "review", "check",
+	// retain category
+	"retain", "store", "save", "keep", "archive", "preserve", "cache",
+	// disclose category
+	"disclose", "share", "transfer", "provide", "transmit", "release",
+	"distribute", "rent", "trade", "deliver", "expose", "reveal", "display",
+	"report", "upload", "post", "publish",
+	// general policy verbs
+	"inform", "notify", "protect", "secure", "encrypt", "delete", "remove",
+	"erase", "update", "modify", "change", "improve", "enhance", "offer",
+	"serve", "deliver", "personalize", "customize", "identify", "contact",
+	"register", "create", "visit", "click", "install", "download", "agree",
+	"consent", "permit", "allow", "enable", "require", "need", "want",
+	"help", "assist", "prevent", "limit", "restrict", "control", "manage",
+	"operate", "maintain", "comply", "apply", "relate", "describe",
+	"explain", "cover", "include", "contain", "involve", "concern",
+	"encourage", "recommend", "suggest", "ask", "answer", "respond",
+	"connect", "link", "associate", "correlate", "match", "locate",
+	"determine", "detect", "discover", "learn", "view", "browse",
+	"navigate", "interact", "communicate", "call", "text", "email",
+	"mention", "state", "declare", "list", "specify", "note", "warrant",
+	"violate", "fine", "sell",
+	// synonym-extension verbs (§VI): present in the lexicon so the
+	// parser can root them; they join categories only via the opt-in
+	// extended verb lists.
+	"inspect", "observe", "fetch", "derive", "extract", "harvest",
+	"leverage", "evaluate", "examine", "persist", "broadcast",
+	"forward", "present", "look", "watch",
+}
+
+// irregularVerbs maps each form of irregular verbs to (lemma, tag).
+var irregularVerbs = map[string]struct {
+	Lemma string
+	Tag   Tag
+}{
+	"be": {"be", TagVB}, "am": {"be", TagVBP}, "is": {"be", TagVBZ},
+	"are": {"be", TagVBP}, "was": {"be", TagVBD}, "were": {"be", TagVBD},
+	"been": {"be", TagVBN}, "being": {"be", TagVBG},
+	"have": {"have", TagVBP}, "has": {"have", TagVBZ}, "had": {"have", TagVBD},
+	"having": {"have", TagVBG},
+	"do":     {"do", TagVBP}, "does": {"do", TagVBZ}, "did": {"do", TagVBD},
+	"done": {"do", TagVBN}, "doing": {"do", TagVBG},
+	"get": {"get", TagVB}, "gets": {"get", TagVBZ}, "got": {"get", TagVBD},
+	"gotten": {"get", TagVBN}, "getting": {"get", TagVBG},
+	"give": {"give", TagVB}, "gives": {"give", TagVBZ}, "gave": {"give", TagVBD},
+	"given": {"give", TagVBN}, "giving": {"give", TagVBG},
+	"take": {"take", TagVB}, "takes": {"take", TagVBZ}, "took": {"take", TagVBD},
+	"taken": {"take", TagVBN}, "taking": {"take", TagVBG},
+	"make": {"make", TagVB}, "makes": {"make", TagVBZ}, "made": {"make", TagVBD},
+	"making": {"make", TagVBG},
+	"send":   {"send", TagVB}, "sends": {"send", TagVBZ}, "sent": {"send", TagVBD},
+	"sending": {"send", TagVBG},
+	"hold":    {"hold", TagVB}, "holds": {"hold", TagVBZ}, "held": {"hold", TagVBD},
+	"holding": {"hold", TagVBG},
+	"sell":    {"sell", TagVB}, "sells": {"sell", TagVBZ}, "sold": {"sell", TagVBD},
+	"selling": {"sell", TagVBG},
+	"see":     {"see", TagVB}, "sees": {"see", TagVBZ}, "saw": {"see", TagVBD},
+	"seen": {"see", TagVBN}, "seeing": {"see", TagVBG},
+	"know": {"know", TagVB}, "knows": {"know", TagVBZ}, "knew": {"know", TagVBD},
+	"known": {"know", TagVBN}, "knowing": {"know", TagVBG},
+	"read": {"read", TagVB}, "reads": {"read", TagVBZ}, "reading": {"read", TagVBG},
+	"write": {"write", TagVB}, "writes": {"write", TagVBZ}, "wrote": {"write", TagVBD},
+	"written": {"write", TagVBN}, "writing": {"write", TagVBG},
+	"choose": {"choose", TagVB}, "chooses": {"choose", TagVBZ},
+	"chose": {"choose", TagVBD}, "chosen": {"choose", TagVBN},
+	"mean": {"mean", TagVB}, "means": {"mean", TagVBZ}, "meant": {"mean", TagVBD},
+	"set": {"set", TagVB}, "sets": {"set", TagVBZ}, "setting": {"set", TagVBG},
+	"let": {"let", TagVB}, "lets": {"let", TagVBZ}, "letting": {"let", TagVBG},
+	"put": {"put", TagVB}, "puts": {"put", TagVBZ}, "putting": {"put", TagVBG},
+	"find": {"find", TagVB}, "finds": {"find", TagVBZ}, "found": {"find", TagVBD},
+	"finding": {"find", TagVBG},
+	"keep":    {"keep", TagVB}, "keeps": {"keep", TagVBZ}, "kept": {"keep", TagVBD},
+	"keeping": {"keep", TagVBG},
+	"show":    {"show", TagVB}, "shows": {"show", TagVBZ},
+	"showed": {"show", TagVBD}, "shown": {"show", TagVBN},
+	"showing": {"show", TagVBG},
+}
+
+// closedClass maps function words to their tags.
+var closedClass = map[string]Tag{
+	// pronouns
+	"i": TagPRP, "we": TagPRP, "you": TagPRP, "he": TagPRP, "she": TagPRP,
+	"it": TagPRP, "they": TagPRP, "us": TagPRP, "them": TagPRP, "me": TagPRP,
+	"him": TagPRP, "her": TagPRP, "itself": TagPRP, "themselves": TagPRP,
+	"yourself": TagPRP, "ourselves": TagPRP, "anyone": TagPRP, "someone": TagPRP,
+	"everyone": TagPRP, "nobody": TagPRP, "nothing": TagPRP, "anything": TagPRP,
+	"everything": TagPRP, "none": TagPRP,
+	// possessive pronouns
+	"my": TagPRPS, "our": TagPRPS, "your": TagPRPS, "his": TagPRPS,
+	"its": TagPRPS, "their": TagPRPS,
+	// determiners
+	"the": TagDT, "a": TagDT, "an": TagDT, "this": TagDT, "that": TagDT,
+	"these": TagDT, "those": TagDT, "some": TagDT, "any": TagDT, "all": TagDT,
+	"each": TagDT, "every": TagDT, "no": TagDT, "such": TagDT, "both": TagDT,
+	"either": TagDT, "neither": TagDT, "following": TagJJ, "certain": TagJJ,
+	// modals
+	"will": TagMD, "would": TagMD, "can": TagMD, "could": TagMD,
+	"may": TagMD, "might": TagMD, "shall": TagMD, "should": TagMD,
+	"must": TagMD, "cannot": TagMD,
+	// prepositions / subordinators
+	"of": TagIN, "in": TagIN, "on": TagIN, "at": TagIN, "by": TagIN,
+	"for": TagIN, "with": TagIN, "without": TagIN, "about": TagIN,
+	"from": TagIN, "into": TagIN, "through": TagIN, "during": TagIN,
+	"between": TagIN, "under": TagIN, "over": TagIN, "after": TagIN,
+	"before": TagIN, "if": TagIN, "unless": TagIN, "upon": TagIN,
+	"while": TagIN, "because": TagIN, "since": TagIN, "until": TagIN,
+	"as": TagIN, "via": TagIN, "per": TagIN, "within": TagIN,
+	"regarding": TagIN, "concerning": TagIN, "including": TagIN,
+	"out": TagIN, "off": TagIN, "when": TagWRB, "where": TagWRB,
+	"why": TagWRB, "how": TagWRB,
+	"to": TagTO,
+	// conjunctions
+	"and": TagCC, "or": TagCC, "but": TagCC, "nor": TagCC, "so": TagCC,
+	"yet": TagCC,
+	// wh
+	"which": TagWDT, "what": TagWDT, "whatever": TagWDT,
+	"who": TagWP, "whom": TagWP, "whose": TagWP,
+	"there": TagEX,
+	// adverbs
+	"not": TagRB, "n't": TagRB, "never": TagRB, "also": TagRB, "only": TagRB,
+	"always": TagRB, "sometimes": TagRB, "often": TagRB, "however": TagRB,
+	"therefore": TagRB, "moreover": TagRB, "furthermore": TagRB,
+	"hardly": TagRB, "rarely": TagRB, "seldom": TagRB, "too": TagRB,
+	"very": TagRB, "then": TagRB, "here": TagRB, "now": TagRB,
+	"automatically": TagRB, "directly": TagRB, "indirectly": TagRB,
+	"personally": TagRB, "anonymously": TagRB, "securely": TagRB,
+	"please": TagRB,
+}
+
+// openClass lists domain words whose default tags matter for parsing
+// privacy policies. Plurals of listed nouns are derived automatically.
+var openClass = map[string]Tag{
+	// privacy-domain nouns
+	"information": TagNN, "data": TagNN, "datum": TagNN, "location": TagNN,
+	"geolocation": TagNN, "latitude": TagNN, "longitude": TagNN, "gps": TagNN,
+	"contact": TagNN, "contacts": TagNNS, "address": TagNN, "name": TagNN,
+	"email": TagNN, "e-mail": TagNN, "phone": TagNN, "telephone": TagNN,
+	"number": TagNN, "device": TagNN, "identifier": TagNN, "id": TagNN,
+	"imei": TagNN, "cookie": TagNN, "ip": TagNN, "calendar": TagNN,
+	"camera": TagNN, "photo": TagNN, "picture": TagNN, "image": TagNN,
+	"audio": TagNN, "microphone": TagNN, "video": TagNN, "account": TagNN,
+	"sms": TagNN, "message": TagNN, "history": TagNN, "list": TagNN,
+	"app": TagNN, "application": TagNN, "package": TagNN, "birthday": TagNN,
+	"birth": TagNN, "age": TagNN, "gender": TagNN, "user": TagNN,
+	"visitor": TagNN, "customer": TagNN, "party": TagNN, "parties": TagNNS,
+	"company": TagNN, "companies": TagNNS, "advertiser": TagNN,
+	"partner": TagNN, "affiliate": TagNN, "provider": TagNN, "vendor": TagNN,
+	"server": TagNN, "service": TagNN, "website": TagNN, "site": TagNN,
+	"web": TagNN, "internet": TagNN, "network": TagNN, "wifi": TagNN,
+	"bluetooth": TagNN, "log": TagNN, "file": TagNN, "database": TagNN,
+	"policy": TagNN, "policies": TagNNS, "privacy": TagNN, "practice": TagNN,
+	"permission": TagNN, "purpose": TagNN, "time": TagNN, "period": TagNN,
+	"consent": TagNN, "notice": TagNN, "section": TagNN, "browser": TagNN,
+	"software": TagNN, "hardware": TagNN, "system": TagNN, "platform": TagNN,
+	"content": TagNN, "profile": TagNN, "preference": TagNN,
+	"identity": TagNN, "username": TagNN, "password": TagNN,
+	"library": TagNN, "libraries": TagNNS, "sdk": TagNN, "ad": TagNN,
+	"advertisement": TagNN, "advertising": TagNN, "analytics": TagNNS,
+	"feature": TagNN, "function": TagNN, "functionality": TagNN,
+	"carrier": TagNN, "operator": TagNN, "model": TagNN, "version": TagNN,
+	"os": TagNN, "android": TagNNP, "google": TagNNP, "facebook": TagNNP,
+	"twitter": TagNNP, "play": TagNNP,
+	// adjectives
+	"personal": TagJJ, "private": TagJJ, "sensitive": TagJJ, "other": TagJJ,
+	"third": TagJJ, "third-party": TagJJ, "first": TagJJ, "second": TagJJ,
+	"real": TagJJ, "mobile": TagJJ, "technical": TagJJ, "additional": TagJJ,
+	"anonymous": TagJJ, "demographic": TagJJ,
+	"necessary": TagJJ, "able": TagJJ, "unable": TagJJ, "responsible": TagJJ,
+	"precise": TagJJ, "approximate": TagJJ, "unique": TagJJ, "new": TagJJ,
+	"fine": TagJJ, "coarse": TagJJ, "current": TagJJ, "previous": TagJJ,
+	"various": TagJJ, "relevant": TagJJ, "applicable": TagJJ, "free": TagJJ,
+	"similar": TagJJ, "specific": TagJJ, "general": TagJJ,
+}
+
+// lexicon is the merged word→tag table, built by init.
+var lexicon = map[string]Tag{}
+
+// verbLemma maps every known verb form to its lemma.
+var verbLemma = map[string]string{}
+
+func init() {
+	for w, t := range closedClass {
+		lexicon[w] = t
+	}
+	for w, t := range openClass {
+		if _, dup := lexicon[w]; !dup {
+			lexicon[w] = t
+		}
+		if t == TagNN {
+			pl := pluralize(w)
+			if _, dup := lexicon[pl]; !dup {
+				lexicon[pl] = TagNNS
+			}
+		}
+	}
+	for _, lemma := range regularVerbLemmas {
+		for form, tag := range inflect(lemma) {
+			verbLemma[form] = lemma
+			if _, dup := lexicon[form]; !dup {
+				lexicon[form] = tag
+			}
+		}
+	}
+	for form, e := range irregularVerbs {
+		verbLemma[form] = e.Lemma
+		if _, dup := lexicon[form]; !dup {
+			lexicon[form] = e.Tag
+		}
+	}
+}
+
+// inflect produces the regular inflections of a verb lemma. The base
+// form is returned under VB; present forms share the surface of the base
+// so the context rules decide VB vs VBP.
+func inflect(lemma string) map[string]Tag {
+	forms := map[string]Tag{lemma: TagVB}
+	forms[thirdPerson(lemma)] = TagVBZ
+	past := pastForm(lemma)
+	forms[past] = TagVBD // VBN resolved contextually after "be"/"have"
+	forms[gerund(lemma)] = TagVBG
+	return forms
+}
+
+func thirdPerson(lemma string) string {
+	switch {
+	case strings.HasSuffix(lemma, "s") || strings.HasSuffix(lemma, "x") ||
+		strings.HasSuffix(lemma, "z") || strings.HasSuffix(lemma, "ch") ||
+		strings.HasSuffix(lemma, "sh"):
+		return lemma + "es"
+	case strings.HasSuffix(lemma, "y") && !isVowel(lemma[len(lemma)-2]):
+		return lemma[:len(lemma)-1] + "ies"
+	default:
+		return lemma + "s"
+	}
+}
+
+func pastForm(lemma string) string {
+	switch {
+	case strings.HasSuffix(lemma, "e"):
+		return lemma + "d"
+	case strings.HasSuffix(lemma, "y") && !isVowel(lemma[len(lemma)-2]):
+		return lemma[:len(lemma)-1] + "ied"
+	default:
+		return lemma + "ed"
+	}
+}
+
+func gerund(lemma string) string {
+	switch {
+	case strings.HasSuffix(lemma, "ie"):
+		return lemma[:len(lemma)-2] + "ying"
+	case strings.HasSuffix(lemma, "e") && !strings.HasSuffix(lemma, "ee"):
+		return lemma[:len(lemma)-1] + "ing"
+	default:
+		return lemma + "ing"
+	}
+}
+
+func pluralize(noun string) string {
+	switch {
+	case strings.HasSuffix(noun, "s") || strings.HasSuffix(noun, "x") ||
+		strings.HasSuffix(noun, "ch") || strings.HasSuffix(noun, "sh"):
+		return noun + "es"
+	case strings.HasSuffix(noun, "y") && len(noun) > 1 && !isVowel(noun[len(noun)-2]):
+		return noun[:len(noun)-1] + "ies"
+	default:
+		return noun + "s"
+	}
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Lemma returns the lemma of a verb form, or the input lowercased when
+// the form is unknown (an identity fallback keeps callers total).
+func Lemma(word string) string {
+	w := strings.ToLower(word)
+	if l, ok := verbLemma[w]; ok {
+		return l
+	}
+	// Strip regular suffixes as a fallback so mined verbs outside the
+	// lexicon still group by lemma.
+	for _, suf := range []string{"ing", "ied", "ies", "ed", "es", "s"} {
+		if strings.HasSuffix(w, suf) && len(w) > len(suf)+2 {
+			stem := w[:len(w)-len(suf)]
+			if l, ok := verbLemma[stem]; ok {
+				return l
+			}
+			if l, ok := verbLemma[stem+"e"]; ok {
+				return l
+			}
+		}
+	}
+	return w
+}
+
+// KnownVerbForm reports whether the word is a known verb inflection.
+func KnownVerbForm(word string) bool {
+	_, ok := verbLemma[strings.ToLower(word)]
+	return ok
+}

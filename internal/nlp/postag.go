@@ -1,0 +1,180 @@
+package nlp
+
+import "strings"
+
+// TagTokens assigns a part-of-speech tag to every token in place using
+// the lexicon, suffix heuristics for unknown words, and a pass of
+// contextual repair rules (a small Brill-style tagger specialised for
+// the privacy-policy register).
+func TagTokens(toks []Token) []Token {
+	for i := range toks {
+		toks[i].Tag = initialTag(toks[i])
+	}
+	applyContextRules(toks)
+	return toks
+}
+
+// Tag tokenizes and tags a sentence in one call.
+func TagText(text string) []Token {
+	return TagTokens(Tokenize(text))
+}
+
+func initialTag(t Token) Tag {
+	w := t.Lower
+	if len(w) == 1 {
+		switch w[0] {
+		case '.', '!', '?':
+			return TagPunc
+		case ',':
+			return TagComa
+		case ';', ':', '-', '(', ')', '"', '\'', '/':
+			return TagColn
+		}
+		if w[0] >= '0' && w[0] <= '9' {
+			return TagCD
+		}
+		if !(w[0] >= 'a' && w[0] <= 'z') {
+			return TagSym
+		}
+	}
+	if tag, ok := lexicon[w]; ok {
+		return tag
+	}
+	if isNumber(w) {
+		return TagCD
+	}
+	return suffixTag(t)
+}
+
+func isNumber(w string) bool {
+	digits := 0
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c >= '0' && c <= '9' {
+			digits++
+		} else if c != '.' && c != ',' && c != '-' {
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// suffixTag guesses a tag for an out-of-lexicon word from morphology.
+func suffixTag(t Token) Tag {
+	w := t.Lower
+	switch {
+	case strings.HasSuffix(w, "ly"):
+		return TagRB
+	case strings.HasSuffix(w, "ing"):
+		return TagVBG
+	case strings.HasSuffix(w, "ed"):
+		return TagVBN
+	case strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "sion") ||
+		strings.HasSuffix(w, "ment") || strings.HasSuffix(w, "ness") ||
+		strings.HasSuffix(w, "ance") || strings.HasSuffix(w, "ence") ||
+		strings.HasSuffix(w, "ship") || strings.HasSuffix(w, "ism"):
+		return TagNN
+	case strings.HasSuffix(w, "tions") || strings.HasSuffix(w, "sions") ||
+		strings.HasSuffix(w, "ments") || strings.HasSuffix(w, "ities"):
+		return TagNNS
+	case strings.HasSuffix(w, "ous") || strings.HasSuffix(w, "ble") ||
+		strings.HasSuffix(w, "ical") || strings.HasSuffix(w, "ful") ||
+		strings.HasSuffix(w, "less") || strings.HasSuffix(w, "ive"):
+		return TagJJ
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+		return TagNNS
+	case len(t.Text) > 0 && t.Text[0] >= 'A' && t.Text[0] <= 'Z':
+		return TagNNP
+	default:
+		return TagNN
+	}
+}
+
+// applyContextRules repairs tags that depend on neighbours.
+func applyContextRules(toks []Token) {
+	n := len(toks)
+	prevWord := func(i int) int { // previous non-adverb, non-punct token
+		for j := i - 1; j >= 0; j-- {
+			if toks[j].Tag == TagRB || toks[j].IsPunct() {
+				continue
+			}
+			return j
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		w := toks[i].Lower
+		tag := toks[i].Tag
+		p := prevWord(i)
+
+		switch {
+		// Rule: modal + verb-form → base verb ("will collect").
+		case p >= 0 && toks[p].Tag == TagMD && (tag.IsVerb() || KnownVerbForm(w)):
+			toks[i].Tag = TagVB
+		// Rule: "to" + known verb → base verb ("to access").
+		case p >= 0 && toks[p].Tag == TagTO && KnownVerbForm(w):
+			toks[i].Tag = TagVB
+		// Rule: be + past form → past participle ("is collected",
+		// "are allowed"). Also covers "be" + suffix-guessed VBN.
+		case p >= 0 && isBe(toks[p].Lower) && (tag == TagVBD || tag == TagVBN):
+			toks[i].Tag = TagVBN
+		// Rule: have/has/had + past form → past participle.
+		case p >= 0 && isHave(toks[p].Lower) && (tag == TagVBD || tag == TagVBN):
+			toks[i].Tag = TagVBN
+		// Rule: past form directly after a preposition, determiner or
+		// possessive, followed by nominal material, is a participle
+		// premodifier ("of installed applications", "your stored data").
+		case i > 0 && tag == TagVBD && i+1 < n &&
+			(toks[i-1].Tag == TagIN || toks[i-1].Tag == TagDT || toks[i-1].Tag == TagPRPS || toks[i-1].Tag == TagTO) &&
+			(toks[i+1].Tag == TagNN || toks[i+1].Tag == TagNNS || toks[i+1].Tag == TagNNP || toks[i+1].Tag == TagJJ):
+			toks[i].Tag = TagVBN
+		// Rule: determiner/possessive/adjective + verb-surface word that
+		// can be a noun → noun ("your use", "the record", "anonymous
+		// updates").
+		case p >= 0 && (toks[p].Tag == TagDT || toks[p].Tag == TagPRPS || toks[p].Tag == TagJJ) &&
+			(tag == TagVB || tag == TagVBP):
+			toks[i].Tag = TagNN
+		case p >= 0 && (toks[p].Tag == TagDT || toks[p].Tag == TagPRPS || toks[p].Tag == TagJJ) &&
+			tag == TagVBZ:
+			toks[i].Tag = TagNNS
+		// Rule: pronoun subject + VB with no modal → present plural
+		// ("we collect").
+		case p >= 0 && toks[p].Tag == TagPRP && tag == TagVB:
+			toks[i].Tag = TagVBP
+		}
+
+		// Rule: sentence-initial known verb after "please" or bare →
+		// keep; but sentence-initial unknown NNP that is a known verb
+		// form gets its verb tag ("Collect" in headings is rare; skip).
+		_ = tag
+	}
+	// Second pass: plural noun vs VBZ ambiguity — "the app collects
+	// location": "collects" after noun subject should be VBZ if a known
+	// verb form and not preceded by DT/JJ.
+	for i := 0; i < n; i++ {
+		if toks[i].Tag != TagNNS || !KnownVerbForm(toks[i].Lower) {
+			continue
+		}
+		if i > 0 && (toks[i-1].Tag.IsNoun() || toks[i-1].Tag == TagNNP) {
+			if lexTag, ok := lexicon[toks[i].Lower]; ok && lexTag == TagVBZ {
+				toks[i].Tag = TagVBZ
+			}
+		}
+	}
+}
+
+func isBe(w string) bool {
+	switch w {
+	case "be", "am", "is", "are", "was", "were", "been", "being":
+		return true
+	}
+	return false
+}
+
+func isHave(w string) bool {
+	switch w {
+	case "have", "has", "had", "having":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package nlp
+
+import "strings"
+
+// SplitSentences divides cleaned policy text into sentences and applies
+// the paper's enumeration repair (§III-B Step 1): a sentence whose
+// predecessor ends with ';' or ',' — the shape NLTK produces for
+// enumeration lists such as "we will collect: your name; your IP
+// address; your device ID" — is appended to that predecessor so the
+// resources stay attached to their governing verb. All letters are
+// lowercased at the end, exactly as the paper does.
+func SplitSentences(text string) []string {
+	raw := rawSplit(text)
+	merged := mergeEnumerations(raw)
+	out := make([]string, 0, len(merged))
+	for _, s := range merged {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		out = append(out, strings.ToLower(s))
+	}
+	return out
+}
+
+// rawSplit performs the primary segmentation: sentence-final punctuation
+// (. ! ?) and hard line breaks end sentences; abbreviations and decimal
+// points do not.
+func rawSplit(text string) []string {
+	var sents []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			sents = append(sents, cur.String())
+			cur.Reset()
+		}
+	}
+	n := len(text)
+	for i := 0; i < n; i++ {
+		c := text[i]
+		switch c {
+		case '\n':
+			flush()
+		case '.', '!', '?':
+			cur.WriteByte(c)
+			if c == '.' && isAbbrevBefore(text, i) {
+				continue
+			}
+			if c == '.' && i+1 < n && isDigit(text[i+1]) {
+				continue // decimal point
+			}
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return sents
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isAbbrevBefore reports whether the '.' at text[i] terminates a known
+// abbreviation (e.g., "e.g.", "Inc.", "etc.") rather than a sentence.
+func isAbbrevBefore(text string, i int) bool {
+	start := i
+	for start > 0 && isWordByte(text[start-1]) {
+		start--
+	}
+	word := strings.ToLower(text[start:i])
+	switch word {
+	case "e.g", "i.e", "etc", "inc", "ltd", "co", "corp", "no", "vs", "mr",
+		"ms", "dr", "st", "v", "eg", "ie", "g", "e":
+		return true
+	}
+	// Single letters followed by '.' are usually initialisms (e.g. the
+	// 'e' and 'g' of a split "e. g.").
+	return len(word) == 1
+}
+
+// mergeEnumerations appends each sentence to its predecessor when the
+// predecessor ends with ';' or ',' or ':' — the enumeration-list repair
+// from the paper.
+func mergeEnumerations(sents []string) []string {
+	var out []string
+	for _, s := range sents {
+		trimmed := strings.TrimSpace(s)
+		if trimmed == "" {
+			continue
+		}
+		if len(out) > 0 {
+			prev := strings.TrimSpace(out[len(out)-1])
+			if strings.HasSuffix(prev, ";") || strings.HasSuffix(prev, ",") || strings.HasSuffix(prev, ":") {
+				out[len(out)-1] = prev + " " + trimmed
+				continue
+			}
+		}
+		out = append(out, trimmed)
+	}
+	return out
+}

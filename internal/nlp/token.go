@@ -1,0 +1,138 @@
+// Package nlp implements the natural-language substrate PPChecker needs:
+// tokenization, sentence splitting with the paper's enumeration repair,
+// part-of-speech tagging, noun-phrase chunking, and a rule-based typed
+// dependency parser producing the relations §III-B of the paper consumes
+// (root, nsubj, dobj, nsubjpass, auxpass, xcomp, advcl, neg, conj, prep,
+// mark). It replaces NLTK and the Stanford Parser for the restricted
+// register of English found in privacy policies.
+package nlp
+
+import "strings"
+
+// Tag is a Penn-Treebank-style part-of-speech tag (subset).
+type Tag string
+
+// The tag inventory used by the tagger and parser.
+const (
+	TagNN   Tag = "NN"   // singular noun
+	TagNNS  Tag = "NNS"  // plural noun
+	TagNNP  Tag = "NNP"  // proper noun
+	TagPRP  Tag = "PRP"  // personal pronoun
+	TagPRPS Tag = "PRP$" // possessive pronoun
+	TagDT   Tag = "DT"   // determiner
+	TagJJ   Tag = "JJ"   // adjective
+	TagRB   Tag = "RB"   // adverb
+	TagVB   Tag = "VB"   // verb, base form
+	TagVBP  Tag = "VBP"  // verb, non-3rd person present
+	TagVBZ  Tag = "VBZ"  // verb, 3rd person present
+	TagVBD  Tag = "VBD"  // verb, past tense
+	TagVBN  Tag = "VBN"  // verb, past participle
+	TagVBG  Tag = "VBG"  // verb, gerund
+	TagMD   Tag = "MD"   // modal
+	TagIN   Tag = "IN"   // preposition / subordinating conjunction
+	TagTO   Tag = "TO"   // "to"
+	TagCC   Tag = "CC"   // coordinating conjunction
+	TagCD   Tag = "CD"   // cardinal number
+	TagWDT  Tag = "WDT"  // wh-determiner
+	TagWP   Tag = "WP"   // wh-pronoun
+	TagWRB  Tag = "WRB"  // wh-adverb
+	TagEX   Tag = "EX"   // existential "there"
+	TagPOS  Tag = "POS"  // possessive 's
+	TagSym  Tag = "SYM"  // other symbol
+	TagPunc Tag = "."    // sentence-final punctuation
+	TagComa Tag = ","    // comma
+	TagColn Tag = ":"    // colon / semicolon / dash
+)
+
+// IsVerb reports whether the tag is any verbal form.
+func (t Tag) IsVerb() bool {
+	switch t {
+	case TagVB, TagVBP, TagVBZ, TagVBD, TagVBN, TagVBG:
+		return true
+	}
+	return false
+}
+
+// IsNoun reports whether the tag is a nominal form (including pronouns,
+// which head one-word noun phrases).
+func (t Tag) IsNoun() bool {
+	switch t {
+	case TagNN, TagNNS, TagNNP, TagPRP:
+		return true
+	}
+	return false
+}
+
+// Token is a single token of a sentence with its tag.
+type Token struct {
+	Text  string // original surface form
+	Lower string // lowercased surface form
+	Tag   Tag
+	Index int // position within the sentence
+}
+
+// IsPunct reports whether the token is punctuation.
+func (t Token) IsPunct() bool {
+	return t.Tag == TagPunc || t.Tag == TagComa || t.Tag == TagColn || t.Tag == TagSym
+}
+
+// Tokenize splits a sentence into word and punctuation tokens. Tags are
+// not assigned; see Tagger.Tag. Contractions "n't", "'s", "'re" etc. are
+// split off as separate tokens so the parser sees negation and copulas.
+func Tokenize(text string) []Token {
+	var toks []Token
+	add := func(s string) {
+		if s == "" {
+			return
+		}
+		toks = append(toks, Token{Text: s, Lower: strings.ToLower(s), Index: len(toks)})
+	}
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isWordByte(c):
+			j := i
+			for j < n && isWordByte(text[j]) {
+				j++
+			}
+			word := text[i:j]
+			// Split trailing contractions.
+			for _, suf := range []string{"n't", "'s", "'re", "'ve", "'ll", "'d", "'m"} {
+				if len(word) > len(suf) && strings.EqualFold(word[len(word)-len(suf):], suf) {
+					add(word[:len(word)-len(suf)])
+					word = word[len(word)-len(suf):]
+					break
+				}
+			}
+			add(word)
+			i = j
+		default:
+			add(string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+// isWordByte reports whether c can appear inside a word token. Hyphens
+// and apostrophes join words ("third-party", "user's"); digits form
+// numbers.
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '\'' || c == '-'
+}
+
+// JoinTokens reconstructs readable text from a token span.
+func JoinTokens(toks []Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && !t.IsPunct() {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}

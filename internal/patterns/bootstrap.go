@@ -1,0 +1,300 @@
+package patterns
+
+import (
+	"math"
+	"sort"
+
+	"ppchecker/internal/nlp"
+)
+
+// Miner discovers new patterns from a corpus by bootstrapping from the
+// seed SVO pattern (§III-B Step 3). The three blacklists implement the
+// paper's semantic-drift enhancement.
+type Miner struct {
+	// SubjectBlacklist removes sentences describing the app's users
+	// rather than the app ("you", "user", "visitor").
+	SubjectBlacklist map[string]bool
+	// VerbBlacklist removes path verbs unrelated to the four behaviours
+	// ("have", "make", ...).
+	VerbBlacklist map[string]bool
+	// ObjectBlacklist discards resources that are not personal
+	// information ("services", ...).
+	ObjectBlacklist map[string]bool
+	// MaxIterations bounds the bootstrap loop; the loop normally stops
+	// at a fixpoint well before this.
+	MaxIterations int
+}
+
+// NewMiner returns a miner configured with the paper's blacklists.
+func NewMiner() *Miner {
+	return &Miner{
+		SubjectBlacklist: map[string]bool{
+			"you": true, "user": true, "users": true, "visitor": true,
+			"visitors": true, "customer": true, "customers": true,
+			"child": true, "children": true,
+		},
+		VerbBlacklist: map[string]bool{
+			"have": true, "make": true, "do": true, "be": true,
+			"see": true, "know": true, "want": true, "need": true,
+			"go": true, "come": true, "say": true, "think": true,
+			"agree": true, "visit": true, "click": true, "contact": true,
+			"review": true, "encourage": true,
+		},
+		ObjectBlacklist: map[string]bool{
+			"service": true, "services": true, "website": true,
+			"websites": true, "site": true, "page": true, "pages": true,
+			"agreement": true, "terms": true, "policy": true,
+			"policies": true, "question": true, "questions": true,
+			"feature": true, "features": true, "support": true,
+			"right": true, "rights": true, "step": true, "steps": true,
+			"time": true, "experience": true, "product": true,
+			"products": true, "app": true, "application": true,
+		},
+		MaxIterations: 10,
+	}
+}
+
+// ParsedSentence pairs a sentence with its parse so corpus passes do
+// not re-parse.
+type ParsedSentence struct {
+	Text  string
+	Parse *nlp.Parse
+}
+
+// ParseCorpus parses every sentence once.
+func ParseCorpus(sentences []string) []ParsedSentence {
+	out := make([]ParsedSentence, 0, len(sentences))
+	for _, s := range sentences {
+		out = append(out, ParsedSentence{Text: s, Parse: nlp.ParseSentence(s)})
+	}
+	return out
+}
+
+// Mine bootstraps patterns from the corpus. It returns all discovered
+// patterns (seeds first, then new patterns in discovery order).
+func (m *Miner) Mine(corpus []ParsedSentence) []Pattern {
+	pats := SeedPatterns()
+	known := map[string]bool{}
+	for _, p := range pats {
+		known[p.Key()] = true
+	}
+	for iter := 0; iter < m.MaxIterations; iter++ {
+		subjList, objList := m.harvest(corpus, known)
+		added := false
+		for _, ps := range corpus {
+			for _, c := range Extract(ps.Parse) {
+				if known[c.Pattern.Key()] {
+					continue
+				}
+				if !m.admissible(ps.Parse, c, subjList, objList) {
+					continue
+				}
+				known[c.Pattern.Key()] = true
+				pats = append(pats, c.Pattern)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return pats
+}
+
+// harvest collects the subjects and object heads of sentences matched by
+// the current pattern set and keeps those with frequency above the
+// median (§III-B Step 3, Fig. 7).
+func (m *Miner) harvest(corpus []ParsedSentence, known map[string]bool) (subj, obj map[string]bool) {
+	subjFreq := map[string]int{}
+	objFreq := map[string]int{}
+	for _, ps := range corpus {
+		for _, c := range Extract(ps.Parse) {
+			if !known[c.Pattern.Key()] {
+				continue
+			}
+			if c.Subject >= 0 {
+				subjFreq[ps.Parse.Tokens[c.Subject].Lower]++
+			}
+			if c.Resource >= 0 {
+				objFreq[ps.Parse.Tokens[c.Resource].Lower]++
+			}
+		}
+	}
+	return aboveMedian(subjFreq), aboveMedian(objFreq)
+}
+
+// aboveMedian keeps entries whose frequency is >= the median frequency
+// (ties included so singleton corpora still seed the lists).
+func aboveMedian(freq map[string]int) map[string]bool {
+	if len(freq) == 0 {
+		return map[string]bool{}
+	}
+	vals := make([]int, 0, len(freq))
+	for _, v := range freq {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	med := vals[len(vals)/2]
+	out := make(map[string]bool, len(freq))
+	for k, v := range freq {
+		if v >= med {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// admissible applies the paper's three blacklists plus structural
+// sanity to a candidate new pattern.
+func (m *Miner) admissible(p *nlp.Parse, c Candidate, subjList, objList map[string]bool) bool {
+	// Subject must be a harvested subject and not blacklisted.
+	if c.Subject >= 0 {
+		sw := p.Tokens[c.Subject].Lower
+		if m.SubjectBlacklist[sw] {
+			return false
+		}
+		if !subjList[sw] {
+			return false
+		}
+	} else if !c.Pattern.Passive {
+		return false
+	}
+	// Object must be a harvested object head and not blacklisted.
+	if c.Resource < 0 {
+		return false
+	}
+	ow := p.Tokens[c.Resource].Lower
+	if m.ObjectBlacklist[ow] || !objList[ow] {
+		return false
+	}
+	// Path verbs must not be blacklisted.
+	if len(c.Pattern.Path) == 0 || len(c.Pattern.Path) > 4 {
+		return false
+	}
+	for _, lemma := range c.Pattern.Path {
+		if m.VerbBlacklist[lemma] {
+			return false
+		}
+	}
+	return true
+}
+
+// Scored is a pattern with its evaluation counts and scores (§III-B
+// Step 3, Eq. 1).
+type Scored struct {
+	Pattern Pattern
+	Pos     int
+	Neg     int
+	Unk     int
+	Acc     float64
+	Conf    float64
+	Score   float64
+}
+
+// Rank scores each pattern against labelled positive and negative
+// sentence sets and returns patterns sorted by descending score.
+// unk — the number of sentences unmatched by any pattern — is global,
+// as in the paper.
+func Rank(pats []Pattern, positive, negative []ParsedSentence) []Scored {
+	keyOf := func(c Candidate) string { return c.Pattern.Key() }
+	// For every sentence record which pattern keys it realizes.
+	realize := func(set []ParsedSentence) []map[string]bool {
+		out := make([]map[string]bool, len(set))
+		for i, ps := range set {
+			ks := map[string]bool{}
+			for _, c := range Extract(ps.Parse) {
+				ks[keyOf(c)] = true
+			}
+			out[i] = ks
+		}
+		return out
+	}
+	posKeys := realize(positive)
+	negKeys := realize(negative)
+
+	allKeys := map[string]bool{}
+	for _, p := range pats {
+		allKeys[p.Key()] = true
+	}
+	unk := 0
+	for _, ks := range append(append([]map[string]bool{}, posKeys...), negKeys...) {
+		hit := false
+		for k := range ks {
+			if allKeys[k] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			unk++
+		}
+	}
+
+	scored := make([]Scored, 0, len(pats))
+	for _, p := range pats {
+		k := p.Key()
+		s := Scored{Pattern: p, Unk: unk}
+		for _, ks := range posKeys {
+			if ks[k] {
+				s.Pos++
+			}
+		}
+		for _, ks := range negKeys {
+			if ks[k] {
+				s.Neg++
+			}
+		}
+		if s.Pos+s.Neg > 0 {
+			s.Acc = float64(s.Pos) / float64(s.Pos+s.Neg)
+			s.Conf = float64(s.Pos-s.Neg) / float64(s.Pos+s.Neg+s.Unk)
+		}
+		if s.Pos == 0 {
+			// A pattern matching no positive sentence is useless; park it
+			// at the bottom rather than letting conf·log(0) change sign.
+			s.Score = -1e9
+		} else {
+			s.Score = s.Conf * logPos(s.Pos)
+		}
+		scored = append(scored, s)
+	}
+	sort.SliceStable(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		// Among score ties, prefer patterns matching fewer negative
+		// sentences, then more positives, then a stable key order.
+		if scored[i].Neg != scored[j].Neg {
+			return scored[i].Neg < scored[j].Neg
+		}
+		if scored[i].Pos != scored[j].Pos {
+			return scored[i].Pos > scored[j].Pos
+		}
+		return scored[i].Pattern.Key() < scored[j].Pattern.Key()
+	})
+	return scored
+}
+
+// logPos is ln(pos) with pos<=1 mapped so unseen patterns sink to the
+// bottom without producing -Inf and singletons keep a small positive
+// weight.
+func logPos(pos int) float64 {
+	if pos <= 0 {
+		return -10
+	}
+	if pos == 1 {
+		return 0.1
+	}
+	return math.Log(float64(pos))
+}
+
+// TopN returns the n best-scored patterns.
+func TopN(scored []Scored, n int) []Pattern {
+	if n > len(scored) {
+		n = len(scored)
+	}
+	out := make([]Pattern, 0, n)
+	for _, s := range scored[:n] {
+		out = append(out, s.Pattern)
+	}
+	return out
+}

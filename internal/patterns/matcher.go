@@ -1,0 +1,115 @@
+package patterns
+
+import (
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/verbs"
+)
+
+// Matcher selects useful sentences with a fixed pattern set (§III-B
+// Step 4). It is immutable after construction and safe for concurrent
+// use.
+type Matcher struct {
+	keys map[string]Pattern
+	// categorize maps a verb to its category; defaults to
+	// verbs.CategoryOf.
+	categorize func(string) verbs.Category
+}
+
+// NewMatcher builds a matcher over the given patterns.
+func NewMatcher(pats []Pattern) *Matcher {
+	return NewMatcherWithCategories(pats, verbs.CategoryOf)
+}
+
+// NewMatcherWithCategories builds a matcher with a custom verb
+// categorizer (the synonym-expansion extension injects
+// verbs.ExtendedCategoryOf here).
+func NewMatcherWithCategories(pats []Pattern, categorize func(string) verbs.Category) *Matcher {
+	m := &Matcher{keys: make(map[string]Pattern, len(pats)), categorize: categorize}
+	for _, p := range pats {
+		m.keys[p.Key()] = p
+	}
+	return m
+}
+
+// DefaultMatcher returns a matcher over the five table-II pattern
+// families realized with the category verbs: active voice, passive
+// voice, "allowed to V", "able to V", and purpose expressions. It is
+// the matcher used when no mined pattern set is supplied.
+func DefaultMatcher() *Matcher {
+	var pats []Pattern
+	for _, v := range verbs.Lemmas() {
+		pats = append(pats,
+			Pattern{Path: []string{v}},                // P1 active
+			Pattern{Path: []string{v}, Passive: true}, // P2 passive
+			Pattern{Path: []string{"allow", v}},       // P3 allowed
+			Pattern{Path: []string{"permit", v}},      // P3 variant
+			Pattern{Path: []string{"able", v}},        // P4 able
+		)
+		// P5 purpose: a use-category verb whose purpose clause carries a
+		// category verb ("we use gps to get your location").
+		for _, u := range verbs.UseVerbs {
+			pats = append(pats, Pattern{Path: []string{u, v}})
+		}
+	}
+	return NewMatcher(pats)
+}
+
+// ExtendedMatcher is DefaultMatcher with the synonym verb lists of the
+// paper's future-work extension: the pattern families are realized
+// over the extended lemma set and classified with
+// verbs.ExtendedCategoryOf, recovering the "display"-style false
+// negatives.
+func ExtendedMatcher() *Matcher {
+	var pats []Pattern
+	for _, v := range verbs.ExtendedLemmas() {
+		pats = append(pats,
+			Pattern{Path: []string{v}},
+			Pattern{Path: []string{v}, Passive: true},
+			Pattern{Path: []string{"allow", v}},
+			Pattern{Path: []string{"permit", v}},
+			Pattern{Path: []string{"able", v}},
+		)
+		for _, u := range verbs.UseVerbs {
+			pats = append(pats, Pattern{Path: []string{u, v}})
+		}
+	}
+	return NewMatcherWithCategories(pats, verbs.ExtendedCategoryOf)
+}
+
+// Len returns the number of patterns in the matcher.
+func (m *Matcher) Len() int { return len(m.keys) }
+
+// Match is a matched candidate in a sentence.
+type Match struct {
+	Candidate
+	// Category of the verb governing the resource.
+	Category verbs.Category
+}
+
+// MatchParse returns all candidates of the parse realized by a pattern
+// in the set. A sentence with at least one match is a "useful sentence".
+func (m *Matcher) MatchParse(p *nlp.Parse) []Match {
+	var out []Match
+	for _, c := range Extract(p) {
+		pat, ok := m.keys[c.Pattern.Key()]
+		if !ok {
+			continue
+		}
+		cat := m.categorize(p.Tokens[c.Verb].Lower)
+		if cat == verbs.None {
+			cat = m.categorize(pat.ActionVerb())
+		}
+		out = append(out, Match{Candidate: c, Category: cat})
+	}
+	return out
+}
+
+// Useful reports whether the sentence parse matches any pattern.
+func (m *Matcher) Useful(p *nlp.Parse) bool {
+	for _, c := range Extract(p) {
+		if _, ok := m.keys[c.Pattern.Key()]; ok {
+			return true
+		}
+	}
+	return false
+}

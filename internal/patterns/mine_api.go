@@ -1,0 +1,14 @@
+package patterns
+
+// MineMatcher runs the full §III-B Step 3–4 pipeline: bootstrap
+// patterns from a policy-sentence corpus, rank them against labelled
+// positive/negative sentence sets, keep the top n, and build a matcher
+// from them. It is how a deployment trains PPChecker's sentence
+// selector on its own corpus; the library default (DefaultMatcher)
+// covers the common pattern families without training.
+func MineMatcher(corpus, positive, negative []string, n int) *Matcher {
+	parsed := ParseCorpus(corpus)
+	pats := NewMiner().Mine(parsed)
+	scored := Rank(pats, ParseCorpus(positive), ParseCorpus(negative))
+	return NewMatcher(TopN(scored, n))
+}

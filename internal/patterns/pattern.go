@@ -1,0 +1,156 @@
+// Package patterns implements the pattern machinery of §III-B Steps 3–4
+// of the paper: the seed subject-verb-object pattern, the enhanced
+// bootstrapping miner that discovers new dependency-path patterns from a
+// policy corpus, the accuracy/confidence scoring used to rank them, and
+// the matcher that selects useful sentences.
+package patterns
+
+import (
+	"strings"
+
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/verbs"
+)
+
+// Pattern is a dependency-path pattern: the lemma sequence on the
+// shortest path between a sentence's subject and a resource noun phrase
+// (endpoints excluded), plus a passive marker for subjectless passive
+// realizations ("your information will be used").
+type Pattern struct {
+	Path    []string
+	Passive bool
+}
+
+// Key returns a canonical string identity for the pattern.
+func (p Pattern) Key() string {
+	k := strings.Join(p.Path, "-")
+	if p.Passive {
+		return "passive:" + k
+	}
+	return "active:" + k
+}
+
+// String renders the pattern in the paper's notation, e.g.
+// "sbj-allow-access-obj".
+func (p Pattern) String() string {
+	if p.Passive {
+		return "obj-" + strings.Join(p.Path, "-") + " (passive)"
+	}
+	return "sbj-" + strings.Join(p.Path, "-") + "-obj"
+}
+
+// ActionVerb returns the lemma of the pattern's governing action verb:
+// the last path element belonging to a main-verb category, or "".
+func (p Pattern) ActionVerb() string {
+	for i := len(p.Path) - 1; i >= 0; i-- {
+		if verbs.IsMainVerb(p.Path[i]) {
+			return p.Path[i]
+		}
+	}
+	return ""
+}
+
+// SeedPatterns returns the seed set: the active SVO pattern and its
+// passive-voice counterpart for each initial verb (§III-B Step 3 uses
+// collect/use/retain/disclose as initial verbs).
+func SeedPatterns() []Pattern {
+	initial := []string{"collect", "use", "retain", "disclose"}
+	out := make([]Pattern, 0, len(initial)*2)
+	for _, v := range initial {
+		out = append(out, Pattern{Path: []string{v}})
+		out = append(out, Pattern{Path: []string{v}, Passive: true})
+	}
+	return out
+}
+
+// Candidate is one (subject, resource) realization found in a parsed
+// sentence, with the dependency path between them.
+type Candidate struct {
+	Pattern Pattern
+	// Verb is the token index of the verb governing the resource (the
+	// verb whose category classifies the sentence).
+	Verb int
+	// Resource is the token index of the resource NP head.
+	Resource int
+	// Subject is the token index of the sentence subject, or -1.
+	Subject int
+}
+
+// Extract enumerates the pattern candidates of a parse: for each
+// resource site (direct objects of the root, of an xcomp, of purpose
+// clauses, prepositional objects of the root, or the passive subject)
+// the path from the subject is computed.
+func Extract(p *nlp.Parse) []Candidate {
+	if p == nil || p.Root < 0 {
+		return nil
+	}
+	var cands []Candidate
+	subj := p.Subject(p.Root)
+	passive := p.IsPassive(p.Root)
+
+	addActive := func(verb, res int) {
+		if subj < 0 || res < 0 {
+			return
+		}
+		path := p.PathBetween(subj, res)
+		if len(path) == 0 {
+			return
+		}
+		pat := Pattern{Path: path}
+		cands = append(cands, Candidate{
+			Pattern: pat, Verb: verb, Resource: res, Subject: subj,
+		})
+		// Conjoined siblings share the governor's pattern: in "we
+		// collect your location and your device id", the id candidate
+		// realizes the same sbj-collect-obj pattern as location.
+		var walk func(int)
+		walk = func(o int) {
+			for _, sib := range p.Dependents(o, nlp.RelConj) {
+				if !p.Tokens[sib].Tag.IsVerb() {
+					cands = append(cands, Candidate{
+						Pattern: pat, Verb: verb, Resource: sib, Subject: subj,
+					})
+					walk(sib)
+				}
+			}
+		}
+		walk(res)
+	}
+
+	// Passive realization: the patient is the subject itself, plus any
+	// conjoined siblings ("your name and contacts will be collected").
+	if passive && subj >= 0 && p.Xcomp(p.Root) < 0 {
+		pat := Pattern{Path: []string{nlp.Lemma(p.Tokens[p.Root].Lower)}, Passive: true}
+		cands = append(cands, Candidate{
+			Pattern: pat, Verb: p.Root, Resource: subj, Subject: -1,
+		})
+		for _, sib := range p.Dependents(subj, nlp.RelConj) {
+			if !p.Tokens[sib].Tag.IsVerb() {
+				cands = append(cands, Candidate{
+					Pattern: pat, Verb: p.Root, Resource: sib, Subject: -1,
+				})
+			}
+		}
+	}
+
+	// Active sites.
+	verbsToScan := []int{p.Root}
+	if x := p.Xcomp(p.Root); x >= 0 {
+		verbsToScan = append(verbsToScan, x)
+	}
+	verbsToScan = append(verbsToScan, p.Advcl(p.Root)...)
+	for _, cv := range p.ConjVerbs(p.Root) {
+		verbsToScan = append(verbsToScan, cv)
+	}
+	seen := map[int]bool{}
+	for _, v := range verbsToScan {
+		if v < 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		for _, o := range p.Dependents(v, nlp.RelDobj) {
+			addActive(v, o)
+		}
+	}
+	return cands
+}

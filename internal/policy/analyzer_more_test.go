@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppchecker/internal/verbs"
+)
+
+// TestSentenceFormsTable drives the analyzer over a broad table of
+// sentence forms, checking category, polarity, and resource.
+func TestSentenceFormsTable(t *testing.T) {
+	cases := []struct {
+		sentence string
+		category verbs.Category
+		negative bool
+		resource string
+	}{
+		// P1 actives across categories
+		{"We collect your location.", verbs.Collect, false, "location"},
+		{"We may gather usage data about your device.", verbs.Collect, false, "usage data"},
+		{"We process your email address.", verbs.Use, false, "email address"},
+		{"We retain your chat history.", verbs.Retain, false, "chat history"},
+		{"We share your phone number with partners.", verbs.Disclose, false, "phone number"},
+		{"We transfer your account information to our affiliates.", verbs.Disclose, false, "account information"},
+		// P2 passives
+		{"Your location will be collected.", verbs.Collect, false, "location"},
+		{"Your contacts may be stored by our servers.", verbs.Retain, false, "contacts"},
+		{"Your device identifier will be shared with advertisers.", verbs.Disclose, false, "device identifier"},
+		// P3/P4
+		{"We are allowed to access your calendar entries.", verbs.Collect, false, "calendar entries"},
+		{"We are able to use your browsing history.", verbs.Use, false, "browsing history"},
+		// P5 purpose
+		{"We use cookies to track your location.", verbs.Collect, false, "location"},
+		// negatives in several shapes
+		{"We will not collect your location.", verbs.Collect, true, "location"},
+		{"We do not share your contacts.", verbs.Disclose, true, "contacts"},
+		{"We never store your messages.", verbs.Retain, true, "messages"},
+		{"Your phone number will not be disclosed.", verbs.Disclose, true, "phone number"},
+		{"We are not collecting your photos.", verbs.Collect, true, "photos"},
+		{"Nothing will be collected.", verbs.Collect, true, "nothing"},
+	}
+	a := NewAnalyzer()
+	for _, c := range cases {
+		res := a.AnalyzeText(c.sentence)
+		var st *Statement
+		for i := range res.Statements {
+			if res.Statements[i].Category == c.category {
+				st = &res.Statements[i]
+				break
+			}
+		}
+		if st == nil {
+			t.Errorf("%q: no %v statement (got %+v)", c.sentence, c.category, res.Statements)
+			continue
+		}
+		if st.Negative != c.negative {
+			t.Errorf("%q: negative = %v, want %v", c.sentence, st.Negative, c.negative)
+		}
+		found := false
+		for _, r := range st.Resources {
+			if strings.Contains(r, c.resource) || strings.Contains(c.resource, r) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: resources %v missing %q", c.sentence, st.Resources, c.resource)
+		}
+	}
+}
+
+// TestAnalyzerDeterministic: repeated analysis of the same policy is
+// identical (the checker caches rely on it).
+func TestAnalyzerDeterministic(t *testing.T) {
+	text := `We may collect your location when you use the app.
+We will not share your contacts.
+Your email address will be stored.
+We use cookies to improve the service.`
+	a := NewAnalyzer()
+	first := a.AnalyzeText(text)
+	for i := 0; i < 5; i++ {
+		again := a.AnalyzeText(text)
+		if strings.Join(first.All(), "|") != strings.Join(again.All(), "|") {
+			t.Fatalf("run %d differs", i)
+		}
+		if len(first.Statements) != len(again.Statements) {
+			t.Fatalf("statement count differs on run %d", i)
+		}
+	}
+}
+
+// TestAnalyzerTotalProperty: arbitrary text never panics and produces
+// consistent sets (every resource in a set appears in some statement).
+func TestAnalyzerTotalProperty(t *testing.T) {
+	a := NewAnalyzer()
+	f := func(s string) bool {
+		res := a.AnalyzeText(s)
+		inStatements := map[string]bool{}
+		for _, st := range res.Statements {
+			for _, r := range st.Resources {
+				inStatements[r] = true
+			}
+		}
+		for _, set := range [][]string{
+			res.Collect, res.Use, res.Retain, res.Disclose,
+			res.NotCollect, res.NotUse, res.NotRetain, res.NotDisclose,
+		} {
+			for _, r := range set {
+				if !inStatements[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPositiveAndNegativeSetsDisjointPerSentence: one sentence cannot
+// put the same resource in both polarities of a category.
+func TestPolaritySeparation(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.AnalyzeText("We will not collect your location. We may collect your email address.")
+	for _, r := range res.NotCollect {
+		for _, p := range res.Collect {
+			if r == p {
+				t.Fatalf("resource %q in both polarities", r)
+			}
+		}
+	}
+}
+
+// TestNotSetAccessors exercises the per-category accessors.
+func TestSetAccessors(t *testing.T) {
+	a := NewAnalyzer()
+	res := a.AnalyzeText(`We will not collect your location.
+We will not use your cookies.
+We will not store your messages.
+We will not share your contacts.`)
+	for _, c := range verbs.Categories() {
+		if len(res.NotSet(c)) == 0 {
+			t.Errorf("NotSet(%v) empty", c)
+		}
+		if len(res.PositiveSet(c)) != 0 {
+			t.Errorf("PositiveSet(%v) = %v", c, res.PositiveSet(c))
+		}
+	}
+	if res.NotSet(verbs.None) != nil || res.PositiveSet(verbs.None) != nil {
+		t.Error("None category returned sets")
+	}
+}

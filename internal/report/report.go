@@ -1,0 +1,199 @@
+// Package report serializes PPChecker reports for machines (JSON) and
+// humans (a standalone HTML page). The JSON document is the stable
+// integration surface for app stores or CI pipelines consuming
+// PPChecker verdicts; the HTML page is what an analyst reads.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/sensitive"
+)
+
+// Document is the machine-readable form of a core.Report.
+type Document struct {
+	App     string `json:"app"`
+	Problem bool   `json:"problem"`
+
+	Incomplete   []IncompleteJSON   `json:"incomplete,omitempty"`
+	Incorrect    []IncorrectJSON    `json:"incorrect,omitempty"`
+	Inconsistent []InconsistentJSON `json:"inconsistent,omitempty"`
+
+	// Analysis snapshots for context.
+	PolicyCollects     []string `json:"policy_collects,omitempty"`
+	PolicyDenies       []string `json:"policy_denies,omitempty"`
+	CodeCollects       []string `json:"code_collects,omitempty"`
+	CodeRetains        []string `json:"code_retains,omitempty"`
+	DescriptionImplies []string `json:"description_implies,omitempty"`
+	Libraries          []string `json:"libraries,omitempty"`
+}
+
+// IncompleteJSON is one missed-information record.
+type IncompleteJSON struct {
+	Via         string   `json:"via"`
+	Info        string   `json:"info"`
+	Permissions []string `json:"permissions,omitempty"`
+	Retained    bool     `json:"retained,omitempty"`
+	Sources     []string `json:"sources,omitempty"`
+}
+
+// IncorrectJSON is one contradiction record.
+type IncorrectJSON struct {
+	Via      string `json:"via"`
+	Info     string `json:"info"`
+	Category string `json:"category"`
+	Sentence string `json:"sentence"`
+	Evidence string `json:"evidence"`
+}
+
+// InconsistentJSON is one app/lib conflict record.
+type InconsistentJSON struct {
+	Category    string `json:"category"`
+	Resource    string `json:"resource"`
+	AppSentence string `json:"app_sentence"`
+	Library     string `json:"library"`
+	LibSentence string `json:"lib_sentence"`
+}
+
+// FromReport converts a core report.
+func FromReport(r *core.Report) *Document {
+	d := &Document{App: r.App, Problem: r.HasProblem()}
+	for _, f := range r.Incomplete {
+		d.Incomplete = append(d.Incomplete, IncompleteJSON{
+			Via: string(f.Via), Info: string(f.Info),
+			Permissions: f.Permissions, Retained: f.Retained,
+			Sources: f.Sources,
+		})
+	}
+	for _, f := range r.Incorrect {
+		d.Incorrect = append(d.Incorrect, IncorrectJSON{
+			Via: string(f.Via), Info: string(f.Info),
+			Category: f.Category.String(), Sentence: f.Sentence,
+			Evidence: f.Evidence,
+		})
+	}
+	for _, f := range r.Inconsistent {
+		d.Inconsistent = append(d.Inconsistent, InconsistentJSON{
+			Category: f.Category.String(), Resource: f.Resource,
+			AppSentence: f.AppSentence, Library: f.LibName,
+			LibSentence: f.LibSentence,
+		})
+	}
+	if r.Policy != nil {
+		d.PolicyCollects = r.Policy.All()
+		d.PolicyDenies = concat(r.Policy.NotCollect, r.Policy.NotUse,
+			r.Policy.NotRetain, r.Policy.NotDisclose)
+	}
+	if r.Static != nil {
+		d.CodeCollects = infosToStrings(r.Static.CollectedInfo())
+		d.CodeRetains = infosToStrings(r.Static.RetainedInfo())
+	}
+	if r.Desc != nil {
+		d.DescriptionImplies = infosToStrings(r.Desc.Infos)
+	}
+	for _, l := range r.Libs {
+		d.Libraries = append(d.Libraries, l.Name)
+	}
+	return d
+}
+
+// WriteJSON emits the document as indented JSON.
+func WriteJSON(w io.Writer, r *core.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromReport(r))
+}
+
+// WriteHTML emits a standalone HTML page for the report.
+func WriteHTML(w io.Writer, r *core.Report) error {
+	d := FromReport(r)
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><title>PPChecker report: %s</title>\n", html.EscapeString(d.App))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 60em; margin: 2em auto; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+.ok { color: #2e7d32; } .bad { color: #c62828; }
+li { margin: .3em 0; } code { background: #f2f2f2; padding: 0 .2em; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>PPChecker report: %s</h1>\n", html.EscapeString(d.App))
+	if !d.Problem {
+		b.WriteString(`<p class="ok">No problems found: the privacy policy is consistent with the app's description, bytecode, and bundled libraries.</p>`)
+	} else {
+		b.WriteString(`<p class="bad">The privacy policy is questionable.</p>`)
+	}
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<ul>\n", html.EscapeString(title))
+		for _, it := range items {
+			fmt.Fprintf(&b, "<li>%s</li>\n", it) // items are pre-escaped
+		}
+		b.WriteString("</ul>\n")
+	}
+	var inc []string
+	for _, f := range d.Incomplete {
+		item := fmt.Sprintf("policy does not mention <b>%s</b> (evidence: %s",
+			html.EscapeString(f.Info), html.EscapeString(f.Via))
+		if len(f.Permissions) > 0 {
+			item += ", implied by <code>" + html.EscapeString(strings.Join(f.Permissions, ", ")) + "</code>"
+		}
+		item += ")"
+		if f.Retained {
+			item += " — and the information is retained"
+		}
+		inc = append(inc, item)
+	}
+	section("Incomplete policy", inc)
+	var incor []string
+	for _, f := range d.Incorrect {
+		incor = append(incor, fmt.Sprintf("policy says <i>%q</i> but %s",
+			html.EscapeString(f.Sentence), html.EscapeString(f.Evidence)))
+	}
+	section("Incorrect policy", incor)
+	var incons []string
+	for _, f := range d.Inconsistent {
+		incons = append(incons, fmt.Sprintf("app policy <i>%q</i> conflicts with %s policy <i>%q</i> (about <b>%s</b>)",
+			html.EscapeString(f.AppSentence), html.EscapeString(f.Library),
+			html.EscapeString(f.LibSentence), html.EscapeString(f.Resource)))
+	}
+	section("Inconsistent with library policies", incons)
+	var facts []string
+	if len(d.CodeCollects) > 0 {
+		facts = append(facts, "code collects: "+html.EscapeString(strings.Join(d.CodeCollects, ", ")))
+	}
+	if len(d.CodeRetains) > 0 {
+		facts = append(facts, "code retains: "+html.EscapeString(strings.Join(d.CodeRetains, ", ")))
+	}
+	if len(d.DescriptionImplies) > 0 {
+		facts = append(facts, "description implies: "+html.EscapeString(strings.Join(d.DescriptionImplies, ", ")))
+	}
+	if len(d.Libraries) > 0 {
+		facts = append(facts, "bundled libraries: "+html.EscapeString(strings.Join(d.Libraries, ", ")))
+	}
+	section("Analysis facts", facts)
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func infosToStrings(infos []sensitive.Info) []string {
+	out := make([]string, len(infos))
+	for i, v := range infos {
+		out[i] = string(v)
+	}
+	return out
+}
+
+func concat(ss ...[]string) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/verbs"
+)
+
+func sampleReport() *core.Report {
+	return &core.Report{
+		App: "com.example.app",
+		Incomplete: []core.IncompleteFinding{{
+			Via: core.ViaCode, Info: sensitive.InfoLocation,
+			Retained: true, Sources: []string{"getLatitude()"},
+		}},
+		Incorrect: []core.IncorrectFinding{{
+			Via: core.ViaCode, Info: sensitive.InfoContact,
+			Category: verbs.Retain,
+			Sentence: "we will not store your contacts",
+			Evidence: "the code retains contact",
+		}},
+		Inconsistent: []core.InconsistencyFinding{{
+			Category: verbs.Collect, Resource: "location information",
+			AppSentence: "we will not collect your location information",
+			LibName:     "Unity3d",
+			LibSentence: "we may collect your location information",
+		}},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	var d Document
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if d.App != "com.example.app" || !d.Problem {
+		t.Fatalf("document = %+v", d)
+	}
+	if len(d.Incomplete) != 1 || d.Incomplete[0].Info != "location" || !d.Incomplete[0].Retained {
+		t.Fatalf("incomplete = %+v", d.Incomplete)
+	}
+	if len(d.Incorrect) != 1 || d.Incorrect[0].Category != "retain" {
+		t.Fatalf("incorrect = %+v", d.Incorrect)
+	}
+	if len(d.Inconsistent) != 1 || d.Inconsistent[0].Library != "Unity3d" {
+		t.Fatalf("inconsistent = %+v", d.Inconsistent)
+	}
+}
+
+func TestJSONCleanReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, &core.Report{App: "clean.app"}); err != nil {
+		t.Fatal(err)
+	}
+	var d Document
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Problem {
+		t.Fatal("clean report marked problematic")
+	}
+	if strings.Contains(buf.String(), `"incomplete"`) {
+		t.Fatal("empty sections serialized")
+	}
+}
+
+func TestHTMLRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "com.example.app", "Incomplete policy",
+		"Incorrect policy", "Inconsistent with library policies",
+		"Unity3d", "location",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	r := sampleReport()
+	r.App = `<script>alert("x")</script>`
+	r.Inconsistent[0].AppSentence = `we <b>never</b> collect & share`
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `<script>alert`) {
+		t.Fatal("script injection in HTML output")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Fatal("app name not escaped")
+	}
+}
+
+func TestHTMLCleanReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, &core.Report{App: "clean.app"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No problems found") {
+		t.Fatalf("clean HTML = %s", buf.String())
+	}
+}

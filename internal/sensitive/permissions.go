@@ -1,0 +1,85 @@
+package sensitive
+
+// Android permission name constants.
+const (
+	PermFineLocation   = "android.permission.ACCESS_FINE_LOCATION"
+	PermCoarseLocation = "android.permission.ACCESS_COARSE_LOCATION"
+	PermReadContacts   = "android.permission.READ_CONTACTS"
+	PermWriteContacts  = "android.permission.WRITE_CONTACTS"
+	PermGetAccounts    = "android.permission.GET_ACCOUNTS"
+	PermReadCalendar   = "android.permission.READ_CALENDAR"
+	PermWriteCalendar  = "android.permission.WRITE_CALENDAR"
+	PermCamera         = "android.permission.CAMERA"
+	PermRecordAudio    = "android.permission.RECORD_AUDIO"
+	PermPhoneState     = "android.permission.READ_PHONE_STATE"
+	PermReadSMS        = "android.permission.READ_SMS"
+	PermReceiveSMS     = "android.permission.RECEIVE_SMS"
+	PermReadCallLog    = "android.permission.READ_CALL_LOG"
+	PermReadHistory    = "com.android.browser.permission.READ_HISTORY_BOOKMARKS"
+	PermBluetooth      = "android.permission.BLUETOOTH"
+	PermWifiState      = "android.permission.ACCESS_WIFI_STATE"
+	PermInternet       = "android.permission.INTERNET"
+	PermGetTasks       = "android.permission.GET_TASKS"
+	PermReadUserDict   = "android.permission.READ_USER_DICTIONARY"
+	PermReadExternal   = "android.permission.READ_EXTERNAL_STORAGE"
+)
+
+// permInfo maps each permission to the private information it guards
+// (per the official documentation, as in §III-D of the paper).
+var permInfo = map[string][]Info{
+	PermFineLocation:   {InfoLocation},
+	PermCoarseLocation: {InfoLocation},
+	PermReadContacts:   {InfoContact},
+	PermWriteContacts:  {InfoContact},
+	PermGetAccounts:    {InfoAccount, InfoEmail},
+	PermReadCalendar:   {InfoCalendar},
+	PermWriteCalendar:  {InfoCalendar},
+	PermCamera:         {InfoCamera},
+	PermRecordAudio:    {InfoAudio},
+	PermPhoneState:     {InfoDeviceID, InfoPhone},
+	PermReadSMS:        {InfoSMS},
+	PermReceiveSMS:     {InfoSMS},
+	PermReadCallLog:    {InfoCallLog},
+	PermReadHistory:    {InfoBrowsing},
+	PermBluetooth:      {InfoBluetooth},
+	PermWifiState:      {InfoWifi, InfoIPAddress},
+	PermGetTasks:       {InfoAppList},
+	PermReadUserDict:   {},
+	PermReadExternal:   {InfoCamera},
+}
+
+// InfoForPermission returns the private information a permission
+// guards.
+func InfoForPermission(perm string) []Info {
+	return append([]Info(nil), permInfo[perm]...)
+}
+
+// PermissionsForInfo returns the permissions guarding an information
+// type, in table order.
+func PermissionsForInfo(info Info) []string {
+	var out []string
+	for _, p := range permissionOrder {
+		for _, i := range permInfo[p] {
+			if i == info {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// permissionOrder fixes iteration order for determinism.
+var permissionOrder = []string{
+	PermFineLocation, PermCoarseLocation, PermReadContacts,
+	PermWriteContacts, PermGetAccounts, PermReadCalendar,
+	PermWriteCalendar, PermCamera, PermRecordAudio, PermPhoneState,
+	PermReadSMS, PermReceiveSMS, PermReadCallLog, PermReadHistory,
+	PermBluetooth, PermWifiState, PermInternet, PermGetTasks,
+	PermReadUserDict, PermReadExternal,
+}
+
+// AllPermissions returns the known permission names in stable order.
+func AllPermissions() []string {
+	return append([]string(nil), permissionOrder...)
+}

@@ -1,0 +1,182 @@
+package static
+
+import (
+	"testing"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/sensitive"
+)
+
+func buildAPK(t *testing.T, pkg string, perms []string, asm string, comps ...apk.Component) *apk.APK {
+	t.Helper()
+	d, err := dex.Assemble(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &apk.Manifest{Package: pkg}
+	for _, p := range perms {
+		m.Permissions = append(m.Permissions, apk.Permission{Name: p})
+	}
+	m.Application.Activities = comps
+	return apk.New(m, d)
+}
+
+const locAppAsm = `
+.class Lcom/dooing/dooing/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    invoke-virtual {v0}, Landroid/location/Location;->getLongitude()D -> v2
+    return-void
+.end method
+.end class
+.class Lcom/adnetwork/sdk/Tracker;
+.method track()V regs=8
+    invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String; -> v1
+    return-void
+.end method
+.method onClick(Landroid/view/View;)V regs=2
+    invoke-virtual {v0}, Lcom/adnetwork/sdk/Tracker;->track()V
+    return-void
+.end method
+.end class
+`
+
+func TestCollectedInfoAttribution(t *testing.T) {
+	// The paper's com.dooing.dooing case: app code reads location; a
+	// bundled lib reads the device id. Attribution follows the package
+	// prefix rule.
+	a := buildAPK(t, "com.dooing.dooing",
+		[]string{sensitive.PermFineLocation, sensitive.PermPhoneState},
+		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
+	res := Analyze(a, DefaultOptions())
+	app := res.CollectedInfo()
+	if len(app) != 1 || app[0] != sensitive.InfoLocation {
+		t.Fatalf("app collected = %v", app)
+	}
+	lib := res.LibCollectedInfo()
+	if len(lib) != 1 || lib[0] != sensitive.InfoDeviceID {
+		t.Fatalf("lib collected = %v", lib)
+	}
+}
+
+func TestPermissionFilter(t *testing.T) {
+	// Same app without the location permissions: the location sites are
+	// dropped (§IV-A note).
+	a := buildAPK(t, "com.dooing.dooing", []string{sensitive.PermPhoneState},
+		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
+	res := Analyze(a, DefaultOptions())
+	if got := res.CollectedInfo(); len(got) != 0 {
+		t.Fatalf("collected without permission = %v", got)
+	}
+}
+
+func TestCoarsePermissionSatisfiesLocation(t *testing.T) {
+	// ACCESS_COARSE_LOCATION alone still admits location sites guarded
+	// by ACCESS_FINE_LOCATION in the table (either permission grants
+	// location).
+	a := buildAPK(t, "com.dooing.dooing", []string{sensitive.PermCoarseLocation},
+		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
+	res := Analyze(a, DefaultOptions())
+	if got := res.CollectedInfo(); len(got) != 1 || got[0] != sensitive.InfoLocation {
+		t.Fatalf("collected = %v", got)
+	}
+}
+
+func TestReachabilityFiltersDeadSites(t *testing.T) {
+	asm := `
+.class Lcom/example/app/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=4
+    return-void
+.end method
+.method unusedHelper()V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`
+	a := buildAPK(t, "com.example.app", []string{sensitive.PermFineLocation},
+		asm, apk.Component{Name: "com.example.app.Main"})
+	res := Analyze(a, DefaultOptions())
+	if got := res.CollectedInfo(); len(got) != 0 {
+		t.Fatalf("dead site collected = %v", got)
+	}
+	// Ablation: with reachability off, the dead site is counted — the
+	// imprecision the paper's reachability analysis removes.
+	opts := DefaultOptions()
+	opts.Reachability = false
+	res = Analyze(a, opts)
+	if got := res.CollectedInfo(); len(got) != 1 {
+		t.Fatalf("ablation collected = %v", got)
+	}
+}
+
+func TestURIAnalysisAblation(t *testing.T) {
+	asm := `
+.class Lcom/example/app/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    const-string v1, "content://com.android.contacts"
+    invoke-static {v1}, Landroid/net/Uri;->parse(Ljava/lang/String;)Landroid/net/Uri; -> v2
+    invoke-virtual {v0, v2}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v3
+    return-void
+.end method
+.end class
+`
+	a := buildAPK(t, "com.example.app", []string{sensitive.PermReadContacts},
+		asm, apk.Component{Name: "com.example.app.Main"})
+	res := Analyze(a, DefaultOptions())
+	if got := res.CollectedInfo(); len(got) != 1 || got[0] != sensitive.InfoContact {
+		t.Fatalf("collected = %v", got)
+	}
+	// With URI analysis off (Slavin et al.'s API-only model), the
+	// query is invisible.
+	opts := DefaultOptions()
+	opts.URIAnalysis = false
+	res = Analyze(a, opts)
+	if got := res.CollectedInfo(); len(got) != 0 {
+		t.Fatalf("API-only collected = %v", got)
+	}
+}
+
+func TestPackedAppAnalyzed(t *testing.T) {
+	a := buildAPK(t, "com.example.packed", []string{sensitive.PermFineLocation}, `
+.class Lcom/example/packed/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`, apk.Component{Name: "com.example.packed.Main"})
+	a.Packed = true
+	data, err := apk.Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := apk.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(loaded, DefaultOptions())
+	if !res.Packed {
+		t.Fatal("packed flag lost")
+	}
+	if got := res.CollectedInfo(); len(got) != 1 || got[0] != sensitive.InfoLocation {
+		t.Fatalf("packed app collected = %v", got)
+	}
+}
+
+func TestRetainedInfoFromLeak(t *testing.T) {
+	a := buildAPK(t, "com.example.retain", []string{sensitive.PermFineLocation}, `
+.class Lcom/example/retain/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    invoke-static {v2, v1}, Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I
+    return-void
+.end method
+.end class
+`, apk.Component{Name: "com.example.retain.Main"})
+	res := Analyze(a, DefaultOptions())
+	if got := res.RetainedInfo(); len(got) != 1 || got[0] != sensitive.InfoLocation {
+		t.Fatalf("retained = %v", got)
+	}
+}

@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/verbs"
+)
+
+// coverPhrase picks the policy phrase used to cover an info.
+func coverPhrase(info sensitive.Info, rng *rand.Rand) string {
+	phrases := specFor(info).PolicyPhrases
+	return phrases[rng.Intn(len(phrases))]
+}
+
+// buildApp materializes one planned app: policy, description, manifest,
+// bytecode, bundled libs.
+func buildApp(plan *AppPlan, rng *rand.Rand, libPolicies map[string]string) (*core.App, error) {
+	pb := NewPolicyBuilder(rng)
+	pb.Boilerplate(2)
+	for _, info := range plan.CoveredInfos {
+		cat := verbs.Categories()[rng.Intn(2)] // collect or use
+		pb.Cover(cat, coverPhrase(info, rng))
+	}
+	if plan.ColonFP {
+		pb.ColonFP()
+	}
+	if plan.ZohoFP {
+		pb.ZohoPair()
+	}
+	if plan.IncorrectDesc {
+		pb.Negative(verbs.Collect, "contacts")
+	}
+	if plan.IncorrectRetain != nil {
+		switch *plan.IncorrectRetain {
+		case sensitive.InfoContact:
+			pb.Add("We will not store your real phone number, name and contacts.")
+		case sensitive.InfoLocation:
+			pb.Add("Your location information will not be stored by us.")
+		default:
+			pb.Negative(verbs.Retain, coverPhrase(*plan.IncorrectRetain, rng))
+		}
+	}
+	for _, inc := range plan.Inconsistencies {
+		if inc.Verb != "" {
+			pb.NegativeVerb(inc.Verb, inc.Resource)
+		} else {
+			pb.Negative(inc.Category, inc.Resource)
+		}
+	}
+	switch plan.ESAFP {
+	case verbs.Collect:
+		pb.Add("We will not collect that information.")
+	case verbs.Disclose:
+		pb.Add("We do not transmit that information over the internet.")
+	}
+	if plan.DisclaimerSuppressed {
+		pb.Negative(verbs.Collect, "location information")
+		pb.Disclaimer()
+	}
+	pb.Boilerplate(1 + rng.Intn(2))
+
+	description := buildDescription(plan, rng)
+	a, err := buildAPK(plan)
+	if err != nil {
+		return nil, err
+	}
+	// Only pass policies for libs this app actually bundles, as the
+	// pipeline would fetch them per detected lib.
+	libPol := map[string]string{}
+	for _, name := range plan.Libs {
+		if p, ok := libPolicies[name]; ok {
+			libPol[name] = p
+		}
+	}
+	return &core.App{
+		Name:        plan.Pkg,
+		PolicyHTML:  pb.HTML(),
+		Description: description,
+		APK:         a,
+		LibPolicies: libPol,
+	}, nil
+}
+
+// buildDescription assembles the Play Store description.
+func buildDescription(plan *AppPlan, rng *rand.Rand) string {
+	var sents []string
+	n := 2 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		sents = append(sents, neutralDescriptions[rng.Intn(len(neutralDescriptions))])
+	}
+	for _, perm := range plan.DescPerms {
+		if trigger, ok := descTriggers[perm]; ok {
+			sents = append(sents, trigger)
+		}
+	}
+	return strings.Join(sents, "\n")
+}
+
+// buildAPK assembles the manifest and bytecode.
+func buildAPK(plan *AppPlan) (*apk.APK, error) {
+	// Everything the code touches, in order.
+	type codePlant struct {
+		info     sensitive.Info
+		retained bool
+	}
+	var plants []codePlant
+	for _, info := range plan.CoveredInfos {
+		plants = append(plants, codePlant{info: info})
+	}
+	for _, rec := range plan.Missed {
+		plants = append(plants, codePlant{info: rec.Info, retained: rec.Retained})
+	}
+	if plan.ColonFP {
+		plants = append(plants, codePlant{info: sensitive.InfoDeviceID})
+	}
+
+	m := &apk.Manifest{Package: plan.Pkg}
+	permSeen := map[string]bool{}
+	addPerm := func(p string) {
+		if p != "" && !permSeen[p] {
+			permSeen[p] = true
+			m.Permissions = append(m.Permissions, apk.Permission{Name: p})
+		}
+	}
+	for _, pl := range plants {
+		addPerm(specFor(pl.info).Permission)
+	}
+	for _, perm := range plan.DescPerms {
+		addPerm(perm)
+	}
+	if plan.DeadLocationCode {
+		addPerm(specFor(sensitive.InfoLocation).Permission)
+	}
+	mainClass := plan.Pkg + ".MainActivity"
+	m.Application.Activities = []apk.Component{{Name: mainClass, Exported: true}}
+
+	// CallbackReached apps move their last plant into a Thread.run
+	// callback, reachable only through EdgeMiner's implicit edge.
+	var callbackPlant *codePlant
+	if plan.CallbackReached && len(plants) > 0 {
+		callbackPlant = &plants[len(plants)-1]
+		plants = plants[:len(plants)-1]
+	}
+
+	var asm strings.Builder
+	fmt.Fprintf(&asm, ".class %s; extends Landroid/app/Activity;\n", slashed(mainClass))
+	regs := 4 + 4*len(plants) + 8
+	fmt.Fprintf(&asm, ".method onCreate(Landroid/os/Bundle;)V regs=%d\n", regs)
+	reg := 4
+	for _, pl := range plants {
+		for _, line := range specFor(pl.info).Code(reg) {
+			asm.WriteString("    " + line + "\n")
+		}
+		if pl.retained {
+			fmt.Fprintf(&asm, "    invoke-static {v1, v%d}, Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I\n", reg)
+		}
+		reg += 4
+	}
+	workerClass := slashed(plan.Pkg + ".Worker")
+	if callbackPlant != nil {
+		fmt.Fprintf(&asm, "    new-instance v%d, %s;\n", reg, workerClass)
+		fmt.Fprintf(&asm, "    invoke-virtual {v%d}, %s;->start()V\n", reg, workerClass)
+	}
+	asm.WriteString("    return-void\n.end method\n")
+	if plan.DeadLocationCode {
+		// A method no entry point reaches.
+		asm.WriteString(".method unusedHelper()V regs=8\n")
+		for _, line := range specFor(sensitive.InfoLocation).Code(4) {
+			asm.WriteString("    " + line + "\n")
+		}
+		asm.WriteString("    return-void\n.end method\n")
+	}
+	asm.WriteString(".end class\n")
+	if callbackPlant != nil {
+		fmt.Fprintf(&asm, ".class %s; extends Ljava/lang/Thread;\n", workerClass)
+		asm.WriteString(".method run()V regs=12\n")
+		for _, line := range specFor(callbackPlant.info).Code(4) {
+			asm.WriteString("    " + line + "\n")
+		}
+		if callbackPlant.retained {
+			asm.WriteString("    invoke-static {v1, v4}, Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I\n")
+		}
+		asm.WriteString("    return-void\n.end method\n.end class\n")
+	}
+
+	for _, name := range plan.Libs {
+		lib, ok := libdetect.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown lib %q", name)
+		}
+		fmt.Fprintf(&asm, ".class L%s/Sdk;\n.method init()V regs=4\n    return-void\n.end method\n.end class\n",
+			strings.ReplaceAll(lib.Prefix, ".", "/"))
+	}
+
+	d, err := dex.Assemble(asm.String())
+	if err != nil {
+		return nil, fmt.Errorf("assemble: %w\n%s", err, asm.String())
+	}
+	a := apk.New(m, d)
+	a.Packed = plan.Packed
+	return a, nil
+}
+
+func slashed(cls string) string {
+	return "L" + strings.ReplaceAll(cls, ".", "/")
+}

@@ -1,0 +1,229 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/sensitive"
+)
+
+func paperPlans(t *testing.T) []*AppPlan {
+	t.Helper()
+	rng := rand.New(rand.NewSource(DefaultConfig().Seed))
+	plans, err := buildPlans(DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plans
+}
+
+// TestPlanQuotas verifies the quota arithmetic behind §V-F before any
+// app is even built.
+func TestPlanQuotas(t *testing.T) {
+	plans := paperPlans(t)
+	var (
+		codeApps, descApps, records, retained int
+		incorrectApps, colonApps, zohoApps    int
+		curApps, discApps, fnApps             int
+		withLibs, packed, disclaimer          int
+	)
+	for _, p := range plans {
+		if len(p.Missed) > 0 {
+			codeApps++
+			records += len(p.Missed)
+			for _, r := range p.Missed {
+				if r.Retained {
+					retained++
+				}
+			}
+		}
+		if len(p.DescPerms) > 0 {
+			descApps++
+		}
+		if p.IncorrectDesc || p.IncorrectRetain != nil {
+			incorrectApps++
+		}
+		if p.ColonFP {
+			colonApps++
+		}
+		if p.ZohoFP {
+			zohoApps++
+		}
+		cur, disc := false, false
+		for _, inc := range p.Inconsistencies {
+			if inc.Disclose() {
+				disc = true
+			} else {
+				cur = true
+			}
+			if inc.FN {
+				fnApps++
+			}
+		}
+		if cur {
+			curApps++
+		}
+		if disc {
+			discApps++
+		}
+		if len(p.Libs) > 0 {
+			withLibs++
+		}
+		if p.Packed {
+			packed++
+		}
+		if p.DisclaimerSuppressed {
+			disclaimer++
+		}
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"code-incomplete apps", codeApps, 180},
+		{"missed records", records, 234},
+		{"retained records", retained, 32},
+		{"desc-incomplete apps", descApps, 64},
+		{"incorrect apps", incorrectApps, 4},
+		{"colon FP apps", colonApps, 15},
+		{"zoho FP apps", zohoApps, 2},
+		{"CUR inconsistency apps", curApps, 45},       // 41 detectable + 4 FN
+		{"disclose inconsistency apps", discApps, 42}, // 39 detectable + 3 FN
+		{"FN plants", fnApps, 7},
+		{"apps with libs", withLibs, 879},
+		{"disclaimer apps", disclaimer, 6},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if packed == 0 {
+		t.Error("no packed apps planned")
+	}
+}
+
+// TestPlanTwoRecordAppsDistinctInfos: no app carries two missed records
+// of the same information (they would collapse into one finding).
+func TestPlanTwoRecordAppsDistinctInfos(t *testing.T) {
+	for _, p := range paperPlans(t) {
+		seen := map[sensitive.Info]bool{}
+		for _, r := range p.Missed {
+			if seen[r.Info] {
+				t.Fatalf("app %d has duplicate missed info %s", p.Index, r.Info)
+			}
+			seen[r.Info] = true
+		}
+	}
+}
+
+// TestPlanOverlapConsistency: every desc-incomplete overlap app inside
+// the code pool has a missed info matching its permission.
+func TestPlanOverlapConsistency(t *testing.T) {
+	for _, p := range paperPlans(t) {
+		if p.Index >= codeIncompleteCount || len(p.DescPerms) == 0 {
+			continue
+		}
+		for _, perm := range p.DescPerms {
+			infos := sensitive.InfoForPermission(perm)
+			matched := false
+			for _, r := range p.Missed {
+				for _, info := range infos {
+					if r.Info == info {
+						matched = true
+					}
+				}
+			}
+			if !matched {
+				t.Errorf("app %d: perm %s has no matching missed info %v", p.Index, perm, p.Missed)
+			}
+		}
+	}
+}
+
+// TestPlanInconsistencyLibsDeclareBehaviour: every planted conflict
+// references a lib whose policy menu actually declares the behaviour.
+func TestPlanInconsistencyLibsDeclareBehaviour(t *testing.T) {
+	for _, p := range paperPlans(t) {
+		for _, inc := range p.Inconsistencies {
+			lib, ok := libdetect.ByName(inc.LibName)
+			if !ok {
+				t.Fatalf("app %d: unknown lib %q", p.Index, inc.LibName)
+			}
+			if !hasBehavior(lib, inc.Category, inc.Resource) {
+				t.Errorf("app %d: %s does not declare %v %q", p.Index, inc.LibName, inc.Category, inc.Resource)
+			}
+		}
+	}
+}
+
+// TestGeneratedAppsVerify: every generated APK passes the bytecode
+// verifier and round-trips through the container.
+func TestGeneratedAppsVerify(t *testing.T) {
+	ds, err := Generate(Config{Seed: 5, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ga := range ds.Apps {
+		if err := dex.Verify(ga.App.APK.Dex); err != nil {
+			t.Fatalf("app %d fails verification: %v", i, err)
+		}
+		if i%37 == 0 { // round-trip a sample
+			data, err := apk.Encode(ga.App.APK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := apk.Decode(data); err != nil {
+				t.Fatalf("app %d round trip: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestGeneratedLibsMatchPlan: detected libraries equal the planned set.
+func TestGeneratedLibsMatchPlan(t *testing.T) {
+	ds, err := Generate(Config{Seed: 5, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ga := range ds.Apps {
+		detected := libdetect.Detect(ga.App.APK.Dex)
+		if len(detected) != len(ga.Truth.Plan.Libs) {
+			t.Fatalf("app %d: detected %d libs, planned %d", i, len(detected), len(ga.Truth.Plan.Libs))
+		}
+		for _, d := range detected {
+			found := false
+			for _, name := range ga.Truth.Plan.Libs {
+				if name == d.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("app %d: unplanned lib %s", i, d.Name)
+			}
+		}
+	}
+}
+
+// TestPackageNamesUnique: package names never collide.
+func TestPackageNamesUnique(t *testing.T) {
+	ds, err := Generate(Config{Seed: 5, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ga := range ds.Apps {
+		if seen[ga.App.Name] {
+			t.Fatalf("duplicate package %s", ga.App.Name)
+		}
+		seen[ga.App.Name] = true
+		if !strings.HasPrefix(ga.App.Name, "com.") {
+			t.Fatalf("odd package name %q", ga.App.Name)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package synth generates the synthetic evaluation corpus standing in
+// for the paper's 1,197 Google Play apps (see DESIGN.md on
+// substitutions): for each app a privacy policy (HTML), a Google Play
+// description, an app package (manifest + SDEX bytecode), bundled
+// third-party libraries with their own generated policies, and ground
+// truth describing exactly which phenomena were planted. The detector
+// is then run for real against the generated artifacts.
+package synth
+
+import (
+	"fmt"
+
+	"ppchecker/internal/sensitive"
+)
+
+// infoSpec carries everything the generators need for one information
+// type.
+type infoSpec struct {
+	Info sensitive.Info
+	// PolicyPhrases are resource phrases a policy uses to cover the
+	// info; each must ESA-match the info name.
+	PolicyPhrases []string
+	// Permission to request in the manifest (first of the guarding
+	// permissions).
+	Permission string
+	// Code emits assembly lines that read the info into register reg
+	// (registers reg and reg+1 are free for scratch).
+	Code func(reg int) []string
+}
+
+var infoSpecs = []infoSpec{
+	{
+		Info:          sensitive.InfoLocation,
+		PolicyPhrases: []string{"location", "location information", "precise location", "gps location"},
+		Permission:    sensitive.PermFineLocation,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v%d", r),
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/location/Location;->getLongitude()D -> v%d", r+1),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoContact,
+		PolicyPhrases: []string{"contacts", "contact information", "address book", "contact list"},
+		Permission:    sensitive.PermReadContacts,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("sget v%d, Landroid/provider/ContactsContract$CommonDataKinds$Phone;->CONTENT_URI:Landroid/net/Uri;", r+1),
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v%d", r+1, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoDeviceID,
+		PolicyPhrases: []string{"device identifier", "device id", "unique device identifier", "imei"},
+		Permission:    sensitive.PermPhoneState,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String; -> v%d", r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoPhone,
+		PolicyPhrases: []string{"phone number", "telephone number", "mobile number"},
+		Permission:    sensitive.PermPhoneState,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/telephony/TelephonyManager;->getLine1Number()Ljava/lang/String; -> v%d", r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoAccount,
+		PolicyPhrases: []string{"account information", "user account", "account details"},
+		Permission:    sensitive.PermGetAccounts,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/accounts/AccountManager;->getAccounts()[Landroid/accounts/Account; -> v%d", r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoCalendar,
+		PolicyPhrases: []string{"calendar entries", "calendar events", "calendar information"},
+		Permission:    sensitive.PermReadCalendar,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("const-string v%d, \"content://com.android.calendar/events\"", r+1),
+				fmt.Sprintf("invoke-static {v%d}, Landroid/net/Uri;->parse(Ljava/lang/String;)Landroid/net/Uri; -> v%d", r+1, r+2),
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v%d", r+2, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoCamera,
+		PolicyPhrases: []string{"camera", "photos", "pictures taken with the camera"},
+		Permission:    sensitive.PermCamera,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-static {}, Landroid/hardware/Camera;->open()Landroid/hardware/Camera; -> v%d", r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoAudio,
+		PolicyPhrases: []string{"audio recordings", "microphone audio", "voice recordings"},
+		Permission:    sensitive.PermRecordAudio,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/media/AudioRecord;->startRecording()V"),
+				fmt.Sprintf("invoke-virtual {v0, v%d, v%d, v%d}, Landroid/media/AudioRecord;->read([BII)I -> v%d", r+1, r+2, r+3, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoSMS,
+		PolicyPhrases: []string{"sms messages", "text messages", "message content"},
+		Permission:    sensitive.PermReadSMS,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("sget v%d, Landroid/provider/Telephony$Sms;->CONTENT_URI:Landroid/net/Uri;", r+1),
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v%d", r+1, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoCallLog,
+		PolicyPhrases: []string{"call log", "call history", "phone call records"},
+		Permission:    sensitive.PermReadCallLog,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("const-string v%d, \"content://call_log/calls\"", r+1),
+				fmt.Sprintf("invoke-static {v%d}, Landroid/net/Uri;->parse(Ljava/lang/String;)Landroid/net/Uri; -> v%d", r+1, r+2),
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/content/ContentResolver;->query(Landroid/net/Uri;)Landroid/database/Cursor; -> v%d", r+2, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoAppList,
+		PolicyPhrases: []string{"installed applications", "app list", "list of installed applications"},
+		Permission:    "", // no permission guards getInstalledPackages
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/content/pm/PackageManager;->getInstalledPackages(I)Ljava/util/List; -> v%d", r+1, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoCookie,
+		PolicyPhrases: []string{"cookies", "browser cookies", "tracking cookies"},
+		Permission:    "",
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0, v%d}, Landroid/webkit/CookieManager;->getCookie(Ljava/lang/String;)Ljava/lang/String; -> v%d", r+1, r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoIPAddress,
+		PolicyPhrases: []string{"ip address", "internet protocol address"},
+		Permission:    sensitive.PermWifiState,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-virtual {v0}, Landroid/net/wifi/WifiInfo;->getIpAddress()I -> v%d", r),
+			}
+		},
+	},
+	{
+		Info:          sensitive.InfoEmail,
+		PolicyPhrases: []string{"email address", "e-mail address"},
+		Permission:    sensitive.PermGetAccounts,
+		Code: func(r int) []string {
+			return []string{
+				fmt.Sprintf("invoke-static {v%d}, Landroid/util/Patterns;->matchEmail(Ljava/lang/CharSequence;)Ljava/lang/String; -> v%d", r+1, r),
+			}
+		},
+	},
+}
+
+// specFor returns the spec of an info type.
+func specFor(info sensitive.Info) infoSpec {
+	for _, s := range infoSpecs {
+		if s.Info == info {
+			return s
+		}
+	}
+	panic("synth: no spec for info " + string(info))
+}
+
+// descTriggers maps each Table III permission to a description sentence
+// that makes the description analyzer infer it.
+var descTriggers = map[string]string{
+	sensitive.PermFineLocation:   "Track your runs with precise GPS navigation and turn-by-turn directions.",
+	sensitive.PermCoarseLocation: "Get the local weather forecast for your area and nearby cities.",
+	sensitive.PermCamera:         "Scan any barcode or QR code instantly with your camera.",
+	sensitive.PermGetAccounts:    "Sign in with your Google account to sync progress across devices.",
+	sensitive.PermReadCalendar:   "See all your calendar events and meetings in one simple agenda.",
+	sensitive.PermReadContacts:   "Find friends from your contacts list and never miss their birthdays.",
+	sensitive.PermWriteContacts:  "Quickly save new contacts and merge duplicate contacts.",
+}
+
+// neutralDescriptions never imply a permission.
+var neutralDescriptions = []string{
+	"A simple and relaxing puzzle game with hundreds of levels.",
+	"Swipe tiles to combine matching numbers and reach the highest score.",
+	"Beautiful minimalist graphics and soothing music.",
+	"Challenge yourself with daily brain teasers.",
+	"The fastest way to read the news that matters to you.",
+	"Enjoy classic card games with players around the world.",
+	"Turn your screen into a handy flashlight with one tap.",
+	"Stay productive with a clean and simple to-do list.",
+	"Learn a new language with bite-sized daily lessons.",
+	"Watch the best cooking recipes in short videos.",
+}

@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"math/rand"
+
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/verbs"
+)
+
+// libBehavior is one declared behaviour of a library's privacy policy.
+type libBehavior struct {
+	Cat      verbs.Category
+	Resource string
+}
+
+// libBehaviors returns the behaviour menu of a library, from which its
+// policy is generated. Menus are deterministic per category so
+// inconsistency plants know what each lib declares.
+func libBehaviors(lib libdetect.Library) []libBehavior {
+	base := []libBehavior{
+		{verbs.Collect, "device identifier"},
+		{verbs.Collect, "usage information"},
+		{verbs.Disclose, "personal information"},
+	}
+	switch lib.Category {
+	case libdetect.CategoryAd:
+		return append(base,
+			libBehavior{verbs.Collect, "location information"},
+			libBehavior{verbs.Use, "advertising identifier"},
+			libBehavior{verbs.Retain, "device identifier"},
+			libBehavior{verbs.Disclose, "device identifier"},
+		)
+	case libdetect.CategorySocial:
+		return append(base,
+			libBehavior{verbs.Collect, "contact information"},
+			libBehavior{verbs.Collect, "personal information"},
+		)
+	default: // development tools
+		return append(base,
+			libBehavior{verbs.Collect, "location information"},
+			libBehavior{verbs.Retain, "usage information"},
+		)
+	}
+}
+
+// hasBehavior reports whether a lib's menu includes (cat, resource).
+func hasBehavior(lib libdetect.Library, cat verbs.Category, resource string) bool {
+	for _, b := range libBehaviors(lib) {
+		if b.Cat == cat && b.Resource == resource {
+			return true
+		}
+	}
+	return false
+}
+
+// libWithBehavior returns the nth registry lib (round-robin) whose menu
+// includes the behaviour.
+func libWithBehavior(cat verbs.Category, resource string, n int) libdetect.Library {
+	var candidates []libdetect.Library
+	for _, lib := range libdetect.Registry() {
+		if hasBehavior(lib, cat, resource) {
+			candidates = append(candidates, lib)
+		}
+	}
+	if len(candidates) == 0 {
+		panic("synth: no lib declares " + cat.String() + " " + resource)
+	}
+	return candidates[n%len(candidates)]
+}
+
+// GenerateLibPolicies produces the policy document for every registry
+// library, keyed by library name. Policies are deterministic: the same
+// library always gets the same policy.
+func GenerateLibPolicies() map[string]string {
+	out := make(map[string]string, len(libdetect.Registry()))
+	for _, lib := range libdetect.Registry() {
+		rng := rand.New(rand.NewSource(hashName(lib.Name)))
+		b := NewPolicyBuilder(rng)
+		b.Boilerplate(2)
+		for _, beh := range libBehaviors(lib) {
+			switch beh.Cat {
+			case verbs.Collect:
+				b.Add("We may collect your " + beh.Resource + ".")
+			case verbs.Use:
+				b.Add("We may use your " + beh.Resource + " to serve relevant content.")
+			case verbs.Retain:
+				b.Add("We may store your " + beh.Resource + " on our servers.")
+			case verbs.Disclose:
+				b.Add("We may share your " + beh.Resource + " with our partners.")
+			}
+		}
+		b.Boilerplate(1)
+		out[lib.Name] = b.HTML()
+	}
+	return out
+}
+
+func hashName(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// allLibNames lists the registry library names in stable order.
+func allLibNames() []string {
+	regs := libdetect.Registry()
+	out := make([]string, len(regs))
+	for i, l := range regs {
+		out[i] = l.Name
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package synth
+
+import (
+	"testing"
+
+	"ppchecker/internal/desc"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/sensitive"
+)
+
+// TestPolicyPhrasesMatchInfo: every coverage phrase must ESA-match its
+// info name, or coverage would silently fail and pollute the quotas.
+func TestPolicyPhrasesMatchInfo(t *testing.T) {
+	x := esa.Default()
+	for _, spec := range infoSpecs {
+		for _, phrase := range spec.PolicyPhrases {
+			if sim := x.Similarity(string(spec.Info), phrase); sim < esa.DefaultThreshold {
+				t.Errorf("phrase %q does not match info %q (%.3f)", phrase, spec.Info, sim)
+			}
+		}
+	}
+}
+
+// TestDescTriggersArePrecise: each trigger sentence must imply exactly
+// its own permission — cross-triggering would corrupt Table III.
+func TestDescTriggersArePrecise(t *testing.T) {
+	a := desc.NewAnalyzer()
+	for perm, sentence := range descTriggers {
+		res := a.Analyze(sentence)
+		found := false
+		for _, p := range res.Permissions {
+			if p == perm {
+				found = true
+				continue
+			}
+			// The two location permissions may not cross-trigger, nor
+			// may read/write contacts.
+			if conflictingPerm(perm, p) {
+				t.Errorf("trigger for %s also implies %s: %q", perm, p, sentence)
+			}
+		}
+		if !found {
+			t.Errorf("trigger for %s does not imply it: %q (got %v)", perm, sentence, res.Permissions)
+		}
+	}
+}
+
+func conflictingPerm(want, got string) bool {
+	pairs := map[string]string{
+		sensitive.PermFineLocation:   sensitive.PermCoarseLocation,
+		sensitive.PermCoarseLocation: sensitive.PermFineLocation,
+		sensitive.PermReadContacts:   sensitive.PermWriteContacts,
+		sensitive.PermWriteContacts:  sensitive.PermReadContacts,
+	}
+	return pairs[want] == got
+}
+
+// TestNeutralDescriptionsAreNeutral: the filler sentences must imply no
+// permissions.
+func TestNeutralDescriptionsAreNeutral(t *testing.T) {
+	a := desc.NewAnalyzer()
+	for _, s := range neutralDescriptions {
+		if res := a.Analyze(s); len(res.Permissions) != 0 {
+			t.Errorf("neutral description %q implies %v (evidence %v)", s, res.Permissions, res.Evidence)
+		}
+	}
+}
+
+// TestLibPoliciesDeclareTheirMenus: every generated lib policy must
+// yield positive statements matching every menu behaviour, or
+// inconsistency plants could not fire.
+func TestLibPoliciesDeclareTheirMenus(t *testing.T) {
+	pols := GenerateLibPolicies()
+	if len(pols) != 81 {
+		t.Fatalf("lib policies = %d, want 81", len(pols))
+	}
+	analyzer := policy.NewAnalyzer()
+	x := esa.Default()
+	// Spot-check three libs, one per category.
+	for _, name := range []string{"AdMob", "Facebook", "Unity3d"} {
+		analysis := analyzer.AnalyzeHTML(pols[name])
+		lib, ok := libdetect.ByName(name)
+		if !ok {
+			t.Fatalf("lib %q not in registry", name)
+		}
+		for _, beh := range libBehaviors(lib) {
+			set := analysis.PositiveSet(beh.Cat)
+			matched := false
+			for _, res := range set {
+				if x.Similarity(res, beh.Resource) >= esa.DefaultThreshold {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s policy does not declare %s %q (set %v)", name, beh.Cat, beh.Resource, set)
+			}
+		}
+	}
+}
+
+// TestGenerateSmall checks generation integrity at reduced scale.
+func TestGenerateSmall(t *testing.T) {
+	ds, err := Generate(Config{Seed: 7, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Apps) != MinApps {
+		t.Fatalf("apps = %d", len(ds.Apps))
+	}
+	counts := quotaCounts(ds)
+	if counts.incompleteCodeTrue != 180 {
+		t.Errorf("code-incomplete true = %d, want 180", counts.incompleteCodeTrue)
+	}
+	if counts.incompleteDescTrue != 64 {
+		t.Errorf("desc-incomplete true = %d, want 64", counts.incompleteDescTrue)
+	}
+	if counts.incorrectTrue != 4 {
+		t.Errorf("incorrect true = %d, want 4", counts.incorrectTrue)
+	}
+	if counts.inconsistCURTrue != 45 { // 41 detectable + 4 FN plants
+		t.Errorf("CUR inconsistent true = %d, want 45", counts.inconsistCURTrue)
+	}
+	if counts.inconsistDiscTrue != 42 { // 39 detectable + 3 FN plants
+		t.Errorf("disclose inconsistent true = %d, want 42", counts.inconsistDiscTrue)
+	}
+	if counts.missedRecords != 234 {
+		t.Errorf("missed records = %d, want 234", counts.missedRecords)
+	}
+	if counts.retainedRecords != 32 {
+		t.Errorf("retained records = %d, want 32", counts.retainedRecords)
+	}
+}
+
+// TestGenerateDeterministic: the same config yields the same corpus.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 42, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 42, NumApps: MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Apps {
+		if a.Apps[i].App.PolicyHTML != b.Apps[i].App.PolicyHTML ||
+			a.Apps[i].App.Description != b.Apps[i].App.Description {
+			t.Fatalf("app %d differs between runs", i)
+		}
+	}
+}
+
+// TestGenerateRejectsTinyCorpus: quotas cannot fit under MinApps.
+func TestGenerateRejectsTinyCorpus(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumApps: 50}); err == nil {
+		t.Fatal("tiny corpus accepted")
+	}
+}
+
+type quotas struct {
+	incompleteDescTrue int
+	incompleteCodeTrue int
+	incorrectTrue      int
+	inconsistCURTrue   int
+	inconsistDiscTrue  int
+	missedRecords      int
+	retainedRecords    int
+}
+
+func quotaCounts(ds *Dataset) quotas {
+	var q quotas
+	for _, ga := range ds.Apps {
+		tr := ga.Truth
+		if tr.IncompleteDesc {
+			q.incompleteDescTrue++
+		}
+		if tr.IncompleteCode {
+			q.incompleteCodeTrue++
+		}
+		if tr.Incorrect {
+			q.incorrectTrue++
+		}
+		if tr.InconsistCUR {
+			q.inconsistCURTrue++
+		}
+		if tr.InconsistDisc {
+			q.inconsistDiscTrue++
+		}
+		for _, rec := range tr.Plan.Missed {
+			q.missedRecords++
+			if rec.Retained {
+				q.retainedRecords++
+			}
+		}
+	}
+	return q
+}

@@ -1,0 +1,566 @@
+// Package taint implements the static taint analysis of §III-C3 (the
+// FlowDroid role): an interprocedural, field- and callback-aware
+// source→sink analysis over SDEX bytecode using the APG for call
+// resolution. Sources are the sensitive APIs and content-provider URIs
+// of the sensitive package; sinks are log/file/network/SMS/Bluetooth
+// APIs. Each discovered flow is reported as a Leak with the path of
+// hops that realized it.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppchecker/internal/apg"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/sensitive"
+)
+
+// Leak is one source→sink flow.
+type Leak struct {
+	Info    sensitive.Info
+	Source  string // source description: API ref or "query(<uri>)"
+	Sink    dex.MethodRef
+	Channel sensitive.Channel
+	// Method contains the sink invocation.
+	Method dex.MethodRef
+	// Path lists the propagation hops from source to sink.
+	Path []Step
+}
+
+// Step is one hop of a leak path.
+type Step struct {
+	Method dex.MethodRef
+	Index  int // instruction index within Method
+	Note   string
+}
+
+// String renders a step for reports.
+func (s Step) String() string {
+	return fmt.Sprintf("%s@%d: %s", s.Method, s.Index, s.Note)
+}
+
+// Result is the analysis outcome.
+type Result struct {
+	Leaks []Leak
+}
+
+// RetainedInfo returns the distinct information types that reach any
+// sink (Retain_code of the paper), sorted.
+func (r *Result) RetainedInfo() []sensitive.Info {
+	seen := map[sensitive.Info]bool{}
+	for _, l := range r.Leaks {
+		seen[l.Info] = true
+	}
+	out := make([]sensitive.Info, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// trace is the provenance chain of a taint fact.
+type trace struct {
+	step   Step
+	parent *trace
+	depth  int
+}
+
+func (t *trace) path() []Step {
+	var rev []Step
+	for cur := t; cur != nil; cur = cur.parent {
+		rev = append(rev, cur.step)
+	}
+	out := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+const maxTraceDepth = 64
+
+func extend(parent *trace, step Step) *trace {
+	if parent != nil && parent.depth >= maxTraceDepth {
+		return parent
+	}
+	d := 0
+	if parent != nil {
+		d = parent.depth + 1
+	}
+	return &trace{step: step, parent: parent, depth: d}
+}
+
+// factSet maps an information type to its provenance. Merging keeps the
+// first trace seen (any witness suffices).
+type factSet map[sensitive.Info]*trace
+
+func (f factSet) merge(other factSet) bool {
+	changed := false
+	for info, tr := range other {
+		if _, ok := f[info]; !ok {
+			f[info] = tr
+			changed = true
+		}
+	}
+	return changed
+}
+
+// callbackParamSources models framework callbacks whose parameters
+// carry sensitive data, e.g. onLocationChanged(Location).
+var callbackParamSources = map[string]sensitive.Info{
+	"onLocationChanged": sensitive.InfoLocation,
+}
+
+// Analyzer runs taint analysis over one app.
+type Analyzer struct {
+	p         *apg.APG
+	reachable map[dex.MethodRef]bool
+
+	regTaint   map[dex.MethodRef][]factSet // per method, per register
+	fieldTaint map[string]factSet          // by field name/spec
+	retTaint   map[dex.MethodRef]factSet
+	callers    map[dex.MethodRef][]dex.MethodRef
+	// iccTargets maps a launching method to the component entry methods
+	// its intents reach (from the APG's icc edges); intent extras carry
+	// taint across this hop.
+	iccTargets map[dex.MethodRef][]dex.MethodRef
+
+	// uriTaint tracks registers holding sensitive content URIs
+	// (separately from data taint): reg -> uri info with provenance.
+	leaks    []Leak
+	leakSeen map[string]bool
+}
+
+// Analyze runs the taint analysis using the given APG.
+func Analyze(p *apg.APG) *Result {
+	a := &Analyzer{
+		p:          p,
+		reachable:  p.ReachableMethods(),
+		regTaint:   map[dex.MethodRef][]factSet{},
+		fieldTaint: map[string]factSet{},
+		retTaint:   map[dex.MethodRef]factSet{},
+		callers:    map[dex.MethodRef][]dex.MethodRef{},
+		iccTargets: map[dex.MethodRef][]dex.MethodRef{},
+		leakSeen:   map[string]bool{},
+	}
+	a.collectICCTargets()
+	a.run()
+	return &Result{Leaks: a.leaks}
+}
+
+// collectICCTargets reads the APG's icc edges into a method-level map.
+func (a *Analyzer) collectICCTargets() {
+	for _, ref := range a.p.Methods() {
+		id, ok := a.p.MethodNode(ref)
+		if !ok {
+			continue
+		}
+		for _, to := range a.p.G.Out(id, apg.EdgeICC) {
+			n := a.p.G.Node(to)
+			target := dex.MethodRef{
+				Class: dex.TypeDesc(n.Prop("class")),
+				Name:  n.Prop("name"),
+				Sig:   n.Prop("sig"),
+			}
+			a.iccTargets[ref] = append(a.iccTargets[ref], target)
+		}
+	}
+}
+
+func (a *Analyzer) run() {
+	// Seed the worklist with every reachable method, in stable order.
+	var work []dex.MethodRef
+	for _, ref := range a.p.Methods() {
+		if a.reachable[ref] {
+			work = append(work, ref)
+		}
+	}
+	inWork := map[dex.MethodRef]bool{}
+	for _, w := range work {
+		inWork[w] = true
+	}
+	for rounds := 0; len(work) > 0 && rounds < 100000; rounds++ {
+		ref := work[0]
+		work = work[1:]
+		inWork[ref] = false
+		changedCallees, changedRet := a.processMethod(ref)
+		for _, c := range changedCallees {
+			if a.reachable[c] && !inWork[c] {
+				inWork[c] = true
+				work = append(work, c)
+			}
+		}
+		if changedRet {
+			for _, caller := range a.callers[ref] {
+				if !inWork[caller] {
+					inWork[caller] = true
+					work = append(work, caller)
+				}
+			}
+		}
+	}
+}
+
+// regs returns the fact sets of a method, allocating on first use.
+func (a *Analyzer) regs(ref dex.MethodRef, numRegs int) []factSet {
+	rs, ok := a.regTaint[ref]
+	if !ok || len(rs) < numRegs {
+		grown := make([]factSet, numRegs)
+		copy(grown, rs)
+		for i := range grown {
+			if grown[i] == nil {
+				grown[i] = factSet{}
+			}
+		}
+		a.regTaint[ref] = grown
+		rs = grown
+	}
+	return rs
+}
+
+// processMethod interprets one method to a local fixpoint. It returns
+// callees whose param taint changed and whether the return taint
+// changed.
+func (a *Analyzer) processMethod(ref dex.MethodRef) (changedCallees []dex.MethodRef, changedRet bool) {
+	m := a.p.APK.Dex.Lookup(ref)
+	if m == nil {
+		return nil, false
+	}
+	rs := a.regs(ref, m.NumRegs+1)
+	// Callback parameter sources (e.g. onLocationChanged's Location).
+	if info, ok := callbackParamSources[m.Name]; ok && m.NumParams() > 0 {
+		pr := m.ParamReg(0)
+		if pr < len(rs) {
+			src := Step{Method: ref, Index: -1, Note: "callback parameter carries " + string(info)}
+			if _, have := rs[pr][info]; !have {
+				rs[pr][info] = extend(nil, src)
+			}
+		}
+	}
+	calleeChanged := map[dex.MethodRef]bool{}
+	uriOf := a.uriRegisters(m)
+	// Iterate to a local fixpoint; taint only grows, so this is
+	// bounded by (#regs × #infos) per register.
+	for pass := 0; pass < len(m.Code)+2; pass++ {
+		changed := false
+		for i, ins := range m.Code {
+			if a.step(ref, m, rs, uriOf, i, ins, calleeChanged, &changedRet) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for c := range calleeChanged {
+		changedCallees = append(changedCallees, c)
+	}
+	sort.Slice(changedCallees, func(i, j int) bool {
+		return changedCallees[i].String() < changedCallees[j].String()
+	})
+	return changedCallees, changedRet
+}
+
+// step interprets one instruction; reports whether any fact changed.
+func (a *Analyzer) step(ref dex.MethodRef, m *dex.Method, rs []factSet,
+	uriOf map[int]sensitive.URIString, i int, ins dex.Instr,
+	calleeChanged map[dex.MethodRef]bool, changedRet *bool) bool {
+
+	changed := false
+	taintReg := func(dst int, facts factSet) {
+		if dst >= 0 && dst < len(rs) && rs[dst].merge(facts) {
+			changed = true
+		}
+	}
+	switch ins.Op {
+	case dex.OpMove:
+		if ins.B >= 0 && ins.B < len(rs) {
+			taintReg(ins.A, rs[ins.B])
+		}
+	case dex.OpIGet:
+		if fs, ok := a.fieldTaint[ins.Str]; ok {
+			taintReg(ins.A, fs)
+		}
+	case dex.OpIPut:
+		if ins.B >= 0 && ins.B < len(rs) && len(rs[ins.B]) > 0 {
+			fs, ok := a.fieldTaint[ins.Str]
+			if !ok {
+				fs = factSet{}
+				a.fieldTaint[ins.Str] = fs
+			}
+			if fs.merge(rs[ins.B]) {
+				changed = true
+			}
+		}
+	case dex.OpSGet:
+		// handled by uriRegisters for URI fields; no data taint.
+	case dex.OpReturn:
+		if ins.A >= 0 && ins.A < len(rs) && len(rs[ins.A]) > 0 {
+			fs, ok := a.retTaint[ref]
+			if !ok {
+				fs = factSet{}
+				a.retTaint[ref] = fs
+			}
+			if fs.merge(rs[ins.A]) {
+				changed = true
+				*changedRet = true
+			}
+		}
+	case dex.OpInvokeVirtual, dex.OpInvokeStatic:
+		changed = a.stepInvoke(ref, m, rs, uriOf, i, ins, calleeChanged) || changed
+	}
+	return changed
+}
+
+func (a *Analyzer) stepInvoke(ref dex.MethodRef, m *dex.Method, rs []factSet,
+	uriOf map[int]sensitive.URIString, i int, ins dex.Instr,
+	calleeChanged map[dex.MethodRef]bool) bool {
+
+	changed := false
+	taintReg := func(dst int, facts factSet) {
+		if dst >= 0 && dst < len(rs) && rs[dst].merge(facts) {
+			changed = true
+		}
+	}
+
+	// Source: sensitive API.
+	if api, ok := sensitive.LookupAPI(ins.Method); ok {
+		src := Step{Method: ref, Index: i, Note: "source " + ins.Method.String()}
+		taintReg(ins.A, factSet{api.Info: extend(nil, src)})
+		return changed
+	}
+	// Source: content-provider query with a sensitive URI argument.
+	if ins.Method.Name == "query" && strings.Contains(string(ins.Method.Class), "ContentResolver") {
+		for _, arg := range ins.Args {
+			if u, ok := uriOf[arg]; ok {
+				src := Step{Method: ref, Index: i, Note: fmt.Sprintf("source query(%s)", u.URI)}
+				taintReg(ins.A, factSet{u.Info: extend(nil, src)})
+			}
+		}
+		return changed
+	}
+	// Intent extras: putExtra taints the intent object itself.
+	if ins.Method.Name == "putExtra" && strings.Contains(string(ins.Method.Class), "Intent") {
+		if len(ins.Args) >= 2 {
+			intentReg := ins.Args[0]
+			facts := factSet{}
+			for _, valReg := range ins.Args[1:] {
+				if valReg < 0 || valReg >= len(rs) {
+					continue
+				}
+				for info, tr := range rs[valReg] {
+					if _, ok := facts[info]; !ok {
+						facts[info] = tr
+					}
+				}
+			}
+			taintReg(intentReg, facts)
+		}
+		return changed
+	}
+	// ICC: launching a component with a tainted intent taints the
+	// target entry's intent parameter (the IccTA hop).
+	if iccLaunchers[ins.Method.Name] && len(ins.Args) >= 2 {
+		intentReg := ins.Args[len(ins.Args)-1]
+		if intentReg >= 0 && intentReg < len(rs) && len(rs[intentReg]) > 0 {
+			for _, target := range a.iccTargets[ref] {
+				callee := a.p.APK.Dex.Lookup(target)
+				if callee == nil {
+					continue
+				}
+				paramIdx := intentParamIndex(callee)
+				if paramIdx < 0 {
+					continue
+				}
+				dst := callee.ParamReg(paramIdx)
+				crs := a.regs(callee.Ref(), callee.NumRegs+1)
+				if dst >= len(crs) {
+					continue
+				}
+				hop := Step{Method: callee.Ref(), Index: -1,
+					Note: fmt.Sprintf("via intent from %s@%d", ref, i)}
+				facts := factSet{}
+				for info, tr := range rs[intentReg] {
+					facts[info] = extend(tr, hop)
+				}
+				if crs[dst].merge(facts) {
+					calleeChanged[callee.Ref()] = true
+				}
+			}
+		}
+		return changed
+	}
+	// Sink: report leaks for tainted sink arguments.
+	if sink, ok := sensitive.LookupSink(ins.Method); ok {
+		for _, pos := range sink.TaintArgs {
+			if pos >= len(ins.Args) {
+				continue
+			}
+			reg := ins.Args[pos]
+			if reg < 0 || reg >= len(rs) {
+				continue
+			}
+			for info, tr := range rs[reg] {
+				a.report(info, sink, ref, i, tr)
+			}
+		}
+		return changed
+	}
+	// Defined method: propagate args to params and return taint back.
+	if callee := a.p.APK.Dex.Lookup(ins.Method); callee != nil {
+		calleeRef := callee.Ref()
+		a.noteCaller(calleeRef, ref)
+		crs := a.regs(calleeRef, callee.NumRegs+1)
+		for ai, argReg := range ins.Args {
+			if argReg < 0 || argReg >= len(rs) || len(rs[argReg]) == 0 {
+				continue
+			}
+			// Arg 0 of a virtual call is the receiver → register 0.
+			dst := ai
+			if ins.Op == dex.OpInvokeVirtual {
+				dst = ai // receiver occupies v0, params follow
+			}
+			if dst >= len(crs) {
+				continue
+			}
+			hop := Step{Method: calleeRef, Index: -1, Note: fmt.Sprintf("via call from %s@%d", ref, i)}
+			facts := factSet{}
+			for info, tr := range rs[argReg] {
+				facts[info] = extend(tr, hop)
+			}
+			if crs[dst].merge(facts) {
+				calleeChanged[calleeRef] = true
+			}
+		}
+		if fs, ok := a.retTaint[calleeRef]; ok {
+			hop := Step{Method: ref, Index: i, Note: "return value of " + calleeRef.String()}
+			facts := factSet{}
+			for info, tr := range fs {
+				facts[info] = extend(tr, hop)
+			}
+			taintReg(ins.A, facts)
+		}
+		return changed
+	}
+	// Unknown framework method: conservative taint-through from args to
+	// result (e.g. StringBuilder.append, String.valueOf).
+	facts := factSet{}
+	for _, argReg := range ins.Args {
+		if argReg < 0 || argReg >= len(rs) {
+			continue
+		}
+		for info, tr := range rs[argReg] {
+			if _, ok := facts[info]; !ok {
+				facts[info] = tr
+			}
+		}
+	}
+	if len(facts) > 0 {
+		taintReg(ins.A, facts)
+	}
+	return changed
+}
+
+func (a *Analyzer) noteCaller(callee, caller dex.MethodRef) {
+	for _, c := range a.callers[callee] {
+		if c == caller {
+			return
+		}
+	}
+	a.callers[callee] = append(a.callers[callee], caller)
+}
+
+// report records a leak once per (info, source, sink site).
+func (a *Analyzer) report(info sensitive.Info, sink sensitive.Sink, method dex.MethodRef, idx int, tr *trace) {
+	srcDesc := ""
+	if tr != nil {
+		srcDesc = tr.path()[0].Note
+	}
+	key := string(info) + "|" + srcDesc + "|" + sink.Ref.String() + "|" + method.String() + "|" + fmt.Sprint(idx)
+	if a.leakSeen[key] {
+		return
+	}
+	a.leakSeen[key] = true
+	sinkStep := Step{Method: method, Index: idx, Note: "sink " + sink.Ref.String()}
+	path := append(tr.path(), sinkStep)
+	a.leaks = append(a.leaks, Leak{
+		Info:    info,
+		Source:  strings.TrimPrefix(srcDesc, "source "),
+		Sink:    sink.Ref,
+		Channel: sink.Channel,
+		Method:  method,
+		Path:    path,
+	})
+}
+
+// uriRegisters computes, per register, the sensitive content URI it may
+// hold in this method: from const-strings fed to Uri.parse, from URI
+// static fields (sget), propagated through moves. Flow-insensitive
+// within the method, matching §III-C2's path-collection step.
+func (a *Analyzer) uriRegisters(m *dex.Method) map[int]sensitive.URIString {
+	out := map[int]sensitive.URIString{}
+	strConst := map[int]string{}
+	for pass := 0; pass < 2; pass++ {
+		for _, ins := range m.Code {
+			switch ins.Op {
+			case dex.OpConstString:
+				strConst[ins.A] = ins.Str
+				if u, ok := sensitive.LookupURI(ins.Str); ok {
+					out[ins.A] = u
+				}
+			case dex.OpSGet:
+				if f, ok := sensitive.LookupURIField(ins.Str); ok {
+					if u, ok2 := sensitive.LookupURI(f.Value); ok2 {
+						out[ins.A] = u
+					} else {
+						// Field with a URI outside the string table:
+						// classify via its permission.
+						infos := sensitive.InfoForPermission(f.Permission)
+						if len(infos) > 0 {
+							out[ins.A] = sensitive.URIString{URI: f.Value, Info: infos[0], Permission: f.Permission}
+						}
+					}
+				}
+			case dex.OpMove:
+				if u, ok := out[ins.B]; ok {
+					out[ins.A] = u
+				}
+				if s, ok := strConst[ins.B]; ok {
+					strConst[ins.A] = s
+				}
+			case dex.OpInvokeStatic, dex.OpInvokeVirtual:
+				if ins.Method.Name == "parse" && strings.Contains(string(ins.Method.Class), "Uri") {
+					if len(ins.Args) > 0 {
+						if s, ok := strConst[ins.Args[len(ins.Args)-1]]; ok {
+							if u, ok2 := sensitive.LookupURI(s); ok2 {
+								out[ins.A] = u
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// iccLaunchers mirrors the APG's launcher table: method name → the
+// intent occupies the last argument by our conventions.
+var iccLaunchers = map[string]bool{
+	"startActivity": true, "startActivityForResult": true,
+	"startService": true, "sendBroadcast": true, "bindService": true,
+}
+
+// intentParamIndex returns the index of the first Intent-typed
+// parameter of a method, or -1.
+func intentParamIndex(m *dex.Method) int {
+	for i, t := range dex.ParamTypes(m.Sig) {
+		if strings.Contains(string(t), "Intent") {
+			return i
+		}
+	}
+	return -1
+}

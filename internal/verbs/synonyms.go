@@ -1,0 +1,60 @@
+package verbs
+
+import "ppchecker/internal/nlp"
+
+// Synonym expansion is the paper's §V-E/§VI future-work item: the
+// reported false negatives came from verbs outside the category lists
+// ("display" in com.starlitt.disableddating's policy). These lists
+// extend each category with synonyms; they are opt-in so the default
+// configuration matches the published system.
+var (
+	SynonymCollect = []string{
+		"check", "view", "inspect", "observe", "look", "fetch", "derive",
+		"extract", "harvest",
+	}
+	SynonymUse = []string{
+		"leverage", "apply", "evaluate", "examine",
+	}
+	SynonymRetain = []string{
+		"maintain", "persist",
+	}
+	SynonymDisclose = []string{
+		"display", "show", "present", "publish", "post", "broadcast",
+		"forward",
+	}
+)
+
+var synonymByLemma = func() map[string]Category {
+	m := map[string]Category{}
+	for _, v := range SynonymCollect {
+		m[v] = Collect
+	}
+	for _, v := range SynonymUse {
+		m[v] = Use
+	}
+	for _, v := range SynonymRetain {
+		m[v] = Retain
+	}
+	for _, v := range SynonymDisclose {
+		m[v] = Disclose
+	}
+	return m
+}()
+
+// ExtendedCategoryOf is CategoryOf with the synonym lists included.
+func ExtendedCategoryOf(verb string) Category {
+	if c := CategoryOf(verb); c != None {
+		return c
+	}
+	return synonymByLemma[nlp.Lemma(verb)]
+}
+
+// ExtendedLemmas returns the category lemmas plus all synonyms.
+func ExtendedLemmas() []string {
+	out := Lemmas()
+	out = append(out, SynonymCollect...)
+	out = append(out, SynonymUse...)
+	out = append(out, SynonymRetain...)
+	out = append(out, SynonymDisclose...)
+	return out
+}

@@ -1,0 +1,88 @@
+// Package verbs defines the four main-verb categories privacy policies
+// use (§III-B of the paper): collect, use, retain, and disclose verbs.
+// Membership is by lemma.
+package verbs
+
+import "ppchecker/internal/nlp"
+
+// Category classifies a main verb.
+type Category int
+
+// The four categories plus None.
+const (
+	None Category = iota
+	Collect
+	Use
+	Retain
+	Disclose
+)
+
+var names = [...]string{"none", "collect", "use", "retain", "disclose"}
+
+func (c Category) String() string {
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "invalid"
+}
+
+// Categories lists the four real categories in a stable order.
+func Categories() []Category { return []Category{Collect, Use, Retain, Disclose} }
+
+// The verb lists. "display" is deliberately absent from Disclose — the
+// paper reports it as a false-negative source (§V-E) and we reproduce
+// that behaviour.
+var (
+	CollectVerbs = []string{
+		"collect", "gather", "obtain", "acquire", "access", "receive",
+		"record", "request", "solicit", "track", "monitor", "capture",
+		"scan", "get", "read",
+	}
+	UseVerbs = []string{
+		"use", "process", "utilize", "employ", "analyze", "analyse",
+		"combine", "aggregate",
+	}
+	RetainVerbs = []string{
+		"retain", "store", "save", "keep", "archive", "preserve",
+		"cache", "hold", "log",
+	}
+	DiscloseVerbs = []string{
+		"disclose", "share", "transfer", "provide", "transmit",
+		"release", "distribute", "rent", "trade", "sell", "send",
+		"give", "reveal", "expose", "upload", "report",
+	}
+)
+
+var byLemma = map[string]Category{}
+
+func init() {
+	for _, v := range CollectVerbs {
+		byLemma[v] = Collect
+	}
+	for _, v := range UseVerbs {
+		byLemma[v] = Use
+	}
+	for _, v := range RetainVerbs {
+		byLemma[v] = Retain
+	}
+	for _, v := range DiscloseVerbs {
+		byLemma[v] = Disclose
+	}
+}
+
+// CategoryOf returns the category of a verb (any inflection), or None.
+func CategoryOf(verb string) Category {
+	return byLemma[nlp.Lemma(verb)]
+}
+
+// IsMainVerb reports whether the verb belongs to any category.
+func IsMainVerb(verb string) bool { return CategoryOf(verb) != None }
+
+// Lemmas returns all category verb lemmas.
+func Lemmas() []string {
+	out := make([]string, 0, len(byLemma))
+	for _, vs := range [][]string{CollectVerbs, UseVerbs, RetainVerbs, DiscloseVerbs} {
+		out = append(out, vs...)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package verbs
+
+import "testing"
+
+func TestCategoryOf(t *testing.T) {
+	cases := map[string]Category{
+		"collect": Collect, "collects": Collect, "collected": Collect,
+		"gathering": Collect, "obtain": Collect, "track": Collect,
+		"use": Use, "using": Use, "processes": Use,
+		"store": Retain, "stored": Retain, "retains": Retain, "keep": Retain,
+		"share": Disclose, "shared": Disclose, "disclose": Disclose,
+		"transmits": Disclose, "sell": Disclose, "sold": Disclose,
+		// deliberately absent (the paper's FN mode)
+		"display": None, "displays": None,
+		// non-verbs
+		"location": None, "the": None, "": None,
+	}
+	for verb, want := range cases {
+		if got := CategoryOf(verb); got != want {
+			t.Errorf("CategoryOf(%q) = %v, want %v", verb, got, want)
+		}
+	}
+}
+
+func TestCategoriesDisjoint(t *testing.T) {
+	seen := map[string]Category{}
+	for _, pair := range []struct {
+		verbs []string
+		cat   Category
+	}{
+		{CollectVerbs, Collect}, {UseVerbs, Use},
+		{RetainVerbs, Retain}, {DiscloseVerbs, Disclose},
+	} {
+		for _, v := range pair.verbs {
+			if prev, dup := seen[v]; dup {
+				t.Errorf("verb %q in both %v and %v", v, prev, pair.cat)
+			}
+			seen[v] = pair.cat
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Collect.String() != "collect" || Disclose.String() != "disclose" || None.String() != "none" {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() != "invalid" {
+		t.Fatal("out-of-range category")
+	}
+}
+
+func TestLemmasCoverAllCategories(t *testing.T) {
+	lemmas := Lemmas()
+	want := len(CollectVerbs) + len(UseVerbs) + len(RetainVerbs) + len(DiscloseVerbs)
+	if len(lemmas) != want {
+		t.Fatalf("Lemmas() = %d, want %d", len(lemmas), want)
+	}
+	for _, l := range lemmas {
+		if !IsMainVerb(l) {
+			t.Errorf("lemma %q not a main verb", l)
+		}
+	}
+}
+
+func TestExtendedCategoryOf(t *testing.T) {
+	// Base verbs unchanged.
+	if ExtendedCategoryOf("collect") != Collect {
+		t.Fatal("base verb lost")
+	}
+	// Synonyms gain categories.
+	cases := map[string]Category{
+		"display": Disclose, "displayed": Disclose, "shows": Disclose,
+		"check": Collect, "checked": Collect, "view": Collect,
+		"maintain": Retain, "leverage": Use,
+	}
+	for verb, want := range cases {
+		if got := ExtendedCategoryOf(verb); got != want {
+			t.Errorf("ExtendedCategoryOf(%q) = %v, want %v", verb, got, want)
+		}
+	}
+	if ExtendedCategoryOf("banana") != None {
+		t.Fatal("non-verb categorized")
+	}
+}
+
+func TestExtendedLemmasSuperset(t *testing.T) {
+	base := map[string]bool{}
+	for _, l := range Lemmas() {
+		base[l] = true
+	}
+	ext := ExtendedLemmas()
+	if len(ext) <= len(Lemmas()) {
+		t.Fatal("extension added nothing")
+	}
+	extSet := map[string]bool{}
+	for _, l := range ext {
+		extSet[l] = true
+	}
+	for l := range base {
+		if !extSet[l] {
+			t.Errorf("base lemma %q missing from extended set", l)
+		}
+	}
+}
