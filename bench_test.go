@@ -275,7 +275,9 @@ func BenchmarkAPGBuild(b *testing.B) {
 	a := ds.Apps[0].App.APK
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		apg.Build(a, apg.DefaultOptions())
+		if _, err := apg.Build(a, apg.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -283,7 +285,10 @@ func BenchmarkAPGBuild(b *testing.B) {
 func BenchmarkTaintAnalysis(b *testing.B) {
 	ds := paperCorpus(b)
 	a := ds.Apps[2].App.APK // the easyxapp-style app has a real flow
-	p := apg.Build(a, apg.DefaultOptions())
+	p, err := apg.Build(a, apg.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		taint.Analyze(p)
@@ -308,7 +313,9 @@ func BenchmarkAutoPPGGenerate(b *testing.B) {
 	opts.Description = ds.Apps[0].App.Description
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		autoppg.Generate(a, opts)
+		if _, err := autoppg.Generate(a, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -57,7 +57,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	policy := autoppg.Generate(a, opts)
+	policy, err := autoppg.Generate(a, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *out == "" {
 		fmt.Print(policy)
 		return

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,9 +71,13 @@ func main() {
 		}
 		genTime := time.Since(start)
 		start = time.Now()
-		res := eval.EvaluateCorpus(ds)
-		fmt.Printf("corpus: %d apps generated in %v, analyzed in %v\n\n",
+		res, stats, err := eval.EvaluateCorpusRobust(context.Background(), ds, eval.DefaultRunOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("corpus: %d apps generated in %v, analyzed in %v\n",
 			*apps, genTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s\n\n", stats.Render())
 		if *table3 {
 			fmt.Println(eval.RenderTableIII(res.TableIII()))
 		}

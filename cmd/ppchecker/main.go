@@ -3,12 +3,25 @@
 //
 //	ppchecker -app corpus/apps/com.example.app -libs corpus/libs
 //
-// The app directory must contain policy.html, description.txt, and
-// app.apk; libs.txt (optional) names the bundled libraries whose
-// policies are read from the -libs directory.
+// The app directory must contain policy.html and app.apk;
+// description.txt is optional, and libs.txt (optional) names the
+// bundled libraries whose policies are read from the -libs directory.
+// Damaged bundles degrade instead of aborting: an unreadable or
+// corrupt file is reported as a degraded stage and the remaining
+// analyses still run. -timeout bounds the whole analysis; on expiry
+// the partial report produced so far is printed.
+//
+// Exit codes:
+//
+//	0  analysis completed cleanly, no problems found
+//	1  analysis completed, at least one problem reported
+//	2  usage error
+//	3  analysis degraded (some stage failed or timed out); takes
+//	   precedence over 1 because the findings may be incomplete
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +29,7 @@ import (
 
 	"ppchecker"
 	"ppchecker/internal/bundle"
+	"ppchecker/internal/core"
 	"ppchecker/internal/report"
 )
 
@@ -28,17 +42,31 @@ func main() {
 		verbose  = flag.Bool("v", false, "also print the intermediate analyses")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		htmlPath = flag.String("html", "", "also write an HTML report to this file")
+		timeout  = flag.Duration("timeout", 0, "bound the analysis (0 = no limit)")
 	)
 	flag.Parse()
 	if *appDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	app, err := bundle.ReadApp(*appDir, *libsDir)
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	app, ferrs := bundle.ReadAppLenient(*appDir, *libsDir)
+	rep, err := ppchecker.CheckSafe(ctx, app)
+	if rep == nil {
 		log.Fatal(err)
 	}
-	rep := ppchecker.Check(app)
+	for _, fe := range ferrs {
+		stage := core.StageRead
+		if fe.File == bundle.FileAPK && !fe.Missing {
+			stage = core.StageDecode
+		}
+		rep.AddDegraded(&core.StageError{Stage: stage, App: rep.App, Err: fe})
+	}
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout, rep); err != nil {
 			log.Fatal(err)
@@ -61,7 +89,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if rep.HasProblem() {
+	switch {
+	case rep.Partial:
+		os.Exit(3)
+	case rep.HasProblem():
 		os.Exit(1)
 	}
 }

@@ -3,13 +3,23 @@
 // stored ground truth, and the §V tables are printed.
 //
 //	ppeval -dir corpus
+//	ppeval -dir corpus -robust -timeout 10s
+//
+// By default a damaged bundle aborts the evaluation. With -robust the
+// fault-tolerant corpus runner is used instead: damaged or adversarial
+// bundles degrade to partial reports, the healthy apps are evaluated
+// normally, and the run statistics (checked / degraded / failed /
+// skipped) are printed before the tables. -timeout bounds each app's
+// analysis in robust mode. Exits 3 when a robust run degraded any app.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"ppchecker/internal/eval"
@@ -18,21 +28,52 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ppeval: ")
-	dir := flag.String("dir", "", "corpus directory written by ppgen (required)")
+	var (
+		dir     = flag.String("dir", "", "corpus directory written by ppgen (required)")
+		robust  = flag.Bool("robust", false, "tolerate damaged bundles (degrade instead of aborting)")
+		timeout = flag.Duration("timeout", 0, "per-app analysis bound in robust mode (0 = no limit)")
+	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	start := time.Now()
-	res, err := eval.EvaluateCorpusDir(*dir)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		res      *eval.CorpusResult
+		stats    eval.RunStats
+		err      error
+		degraded bool
+	)
+	if *robust {
+		opts := eval.DefaultRunOptions()
+		opts.PerAppTimeout = *timeout
+		// Interrupt cancels the run; apps not yet started are counted
+		// as skipped and the run fails below rather than hanging.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, stats, err = eval.EvaluateCorpusDirRobust(ctx, *dir, opts)
+		stop()
+		if err != nil {
+			log.Fatalf("run canceled: %v (%s)", err, stats.Render())
+		}
+		degraded = stats.Degraded > 0 || stats.Failed > 0 || stats.Skipped > 0
+	} else {
+		res, err = eval.EvaluateCorpusDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("evaluated %d apps from %s in %v\n\n",
+	fmt.Printf("evaluated %d apps from %s in %v\n",
 		len(res.Reports), *dir, time.Since(start).Round(time.Millisecond))
+	if *robust {
+		fmt.Println(stats.Render())
+	}
+	fmt.Println()
 	fmt.Println(eval.RenderTableIII(res.TableIII()))
 	fmt.Println(eval.RenderFig13(res.Fig13()))
 	fmt.Println(eval.RenderTableIV(res.ComputeTableIV()))
 	fmt.Print(res.Summary().Render())
+	if degraded {
+		os.Exit(3)
+	}
 }

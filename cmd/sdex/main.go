@@ -77,7 +77,8 @@ func main() {
 		}
 	case "dot":
 		a := loadAPK(path)
-		p := apg.Build(a, apg.DefaultOptions())
+		p, err := apg.Build(a, apg.DefaultOptions())
+		check(err)
 		if *out == "" {
 			check(p.WriteDot(os.Stdout))
 		} else {

@@ -88,7 +88,7 @@ func ExampleGeneratePolicy() {
 		},
 		Dex: dex,
 	}
-	policy := ppchecker.GeneratePolicy(apk, "")
+	policy, _ := ppchecker.GeneratePolicy(apk, "")
 	report := ppchecker.Check(&ppchecker.App{Name: "com.example.gen", PolicyHTML: policy, APK: apk})
 	fmt.Println("problems:", report.HasProblem())
 	// Output:

@@ -7,6 +7,9 @@
 package apg
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -44,6 +47,22 @@ type Options struct {
 // DefaultOptions enables everything, as the paper's system does.
 func DefaultOptions() Options { return Options{EdgeMiner: true, ICC: true} }
 
+// Size guards. Adversarial images (cycle-heavy generated call graphs,
+// fuzzed bytecode) must terminate with an error instead of exhausting
+// memory or wall clock: any method whose code exceeds MaxMethodCode
+// instructions, or any image whose statement total exceeds
+// maxTotalStmts, aborts the build. Legitimate synthetic corpus methods
+// are two orders of magnitude below both limits.
+const (
+	// MaxMethodCode is the per-method instruction ceiling.
+	MaxMethodCode = 4096
+	// maxTotalStmts is the whole-image statement ceiling.
+	maxTotalStmts = 1 << 20
+)
+
+// ErrTooLarge marks a build aborted by a size guard.
+var ErrTooLarge = errors.New("apg: input exceeds analysis size limits")
+
 // APG is the built graph plus lookup maps.
 type APG struct {
 	G   *graphdb.Graph
@@ -55,7 +74,18 @@ type APG struct {
 }
 
 // Build constructs the APG for an app.
-func Build(a *apk.APK, opts Options) *APG {
+func Build(a *apk.APK, opts Options) (*APG, error) {
+	return BuildCtx(context.Background(), a, opts)
+}
+
+// BuildCtx constructs the APG for an app, honouring ctx cancellation
+// between classes. Malformed input — nil image, branch targets outside
+// their method, methods or images beyond the size guards — returns an
+// error instead of panicking.
+func BuildCtx(ctx context.Context, a *apk.APK, opts Options) (*APG, error) {
+	if a == nil || a.Dex == nil {
+		return nil, errors.New("apg: nil apk or bytecode")
+	}
 	p := &APG{
 		G:          graphdb.New(),
 		APK:        a,
@@ -64,34 +94,56 @@ func Build(a *apk.APK, opts Options) *APG {
 		opts:       opts,
 	}
 	p.G.CreateIndex("name")
-	p.addStructure()
-	p.addCallEdges()
+	if err := p.addStructure(ctx); err != nil {
+		return nil, err
+	}
+	if err := p.addCallEdges(); err != nil {
+		return nil, err
+	}
 	if opts.EdgeMiner {
-		p.addCallbackEdges()
+		if err := p.addCallbackEdges(); err != nil {
+			return nil, err
+		}
 	}
 	if opts.ICC {
-		p.addICCEdges()
+		if err := p.addICCEdges(); err != nil {
+			return nil, err
+		}
 	}
-	return p
+	return p, nil
 }
 
 // addStructure inserts class, method and statement nodes with
 // contains/code/cfg edges.
-func (p *APG) addStructure() {
+func (p *APG) addStructure(ctx context.Context) error {
+	totalStmts := 0
 	for _, cls := range p.APK.Dex.Classes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cid := p.G.AddNode(LabelClass, map[string]string{
 			"name":  string(cls.Name),
 			"super": string(cls.Super),
 		})
 		p.classNode[cls.Name] = cid
 		for _, m := range cls.Methods {
+			if len(m.Code) > MaxMethodCode {
+				return fmt.Errorf("%w: method %s has %d instructions (limit %d)",
+					ErrTooLarge, m.Ref(), len(m.Code), MaxMethodCode)
+			}
+			totalStmts += len(m.Code)
+			if totalStmts > maxTotalStmts {
+				return fmt.Errorf("%w: image exceeds %d statements", ErrTooLarge, maxTotalStmts)
+			}
 			mid := p.G.AddNode(LabelMethod, map[string]string{
 				"name":  m.Name,
 				"sig":   m.Sig,
 				"class": string(cls.Name),
 			})
 			p.methodNode[m.Ref()] = mid
-			mustEdge(p.G, cid, mid, EdgeContains)
+			if err := p.G.AddEdge(cid, mid, EdgeContains); err != nil {
+				return fmt.Errorf("apg: %w", err)
+			}
 			// statement nodes and intra-method CFG
 			stmtIDs := make([]graphdb.NodeID, len(m.Code))
 			for i, ins := range m.Code {
@@ -107,35 +159,48 @@ func (p *APG) addStructure() {
 					props["str"] = ins.Str
 				}
 				stmtIDs[i] = p.G.AddNode(LabelStmt, props)
-				mustEdge(p.G, mid, stmtIDs[i], EdgeCode)
+				if err := p.G.AddEdge(mid, stmtIDs[i], EdgeCode); err != nil {
+					return fmt.Errorf("apg: %w", err)
+				}
 			}
 			for i, ins := range m.Code {
 				switch ins.Op {
-				case dex.OpGoto:
-					mustEdge(p.G, stmtIDs[i], stmtIDs[ins.Target], EdgeCFG)
-				case dex.OpIfZ:
-					mustEdge(p.G, stmtIDs[i], stmtIDs[ins.Target], EdgeCFG)
-					if i+1 < len(stmtIDs) {
-						mustEdge(p.G, stmtIDs[i], stmtIDs[i+1], EdgeCFG)
+				case dex.OpGoto, dex.OpIfZ:
+					if ins.Target < 0 || ins.Target >= len(stmtIDs) {
+						return fmt.Errorf("apg: method %s: instruction %d: branch target %d outside [0,%d)",
+							m.Ref(), i, ins.Target, len(stmtIDs))
+					}
+					if err := p.G.AddEdge(stmtIDs[i], stmtIDs[ins.Target], EdgeCFG); err != nil {
+						return fmt.Errorf("apg: %w", err)
+					}
+					if ins.Op == dex.OpIfZ && i+1 < len(stmtIDs) {
+						if err := p.G.AddEdge(stmtIDs[i], stmtIDs[i+1], EdgeCFG); err != nil {
+							return fmt.Errorf("apg: %w", err)
+						}
 					}
 				case dex.OpReturn, dex.OpReturnVoid:
 					// no fallthrough
 				default:
 					if i+1 < len(stmtIDs) {
-						mustEdge(p.G, stmtIDs[i], stmtIDs[i+1], EdgeCFG)
+						if err := p.G.AddEdge(stmtIDs[i], stmtIDs[i+1], EdgeCFG); err != nil {
+							return fmt.Errorf("apg: %w", err)
+						}
 					}
 				}
 			}
-			p.addDataDeps(m, stmtIDs)
+			if err := p.addDataDeps(m, stmtIDs); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // addDataDeps emits def-use edges between statements — the system
 // dependency graph layer of §III-C1, matching the taint engine's
 // flow-insensitive register model: every definition of a register
 // links to every use of it within the method.
-func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID) {
+func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID) error {
 	defs := map[int][]int{} // register -> defining instruction indexes
 	for i, ins := range m.Code {
 		if regDefined(ins) >= 0 {
@@ -146,11 +211,14 @@ func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID) {
 		for _, r := range regsUsed(ins) {
 			for _, d := range defs[r] {
 				if d != i {
-					mustEdge(p.G, stmtIDs[d], stmtIDs[i], EdgeDU)
+					if err := p.G.AddEdge(stmtIDs[d], stmtIDs[i], EdgeDU); err != nil {
+						return fmt.Errorf("apg: %w", err)
+					}
 				}
 			}
 		}
 	}
+	return nil
 }
 
 // regDefined returns the register an instruction writes, or -1.
@@ -184,27 +252,34 @@ func regsUsed(ins dex.Instr) []int {
 
 // addCallEdges resolves every invoke to a defined method (through the
 // superclass chain, class-hierarchy style) and adds calls edges.
-func (p *APG) addCallEdges() {
-	p.eachInvoke(func(caller *dex.Method, i int, ins dex.Instr) {
+func (p *APG) addCallEdges() error {
+	return p.eachInvoke(func(caller *dex.Method, i int, ins dex.Instr) error {
 		target := p.APK.Dex.Lookup(ins.Method)
 		if target == nil {
-			return
+			return nil
 		}
-		mustEdge(p.G, p.methodNode[caller.Ref()], p.methodNode[target.Ref()], EdgeCalls)
+		if err := p.G.AddEdge(p.methodNode[caller.Ref()], p.methodNode[target.Ref()], EdgeCalls); err != nil {
+			return fmt.Errorf("apg: %w", err)
+		}
+		return nil
 	})
 }
 
-// eachInvoke visits every invoke instruction in the app.
-func (p *APG) eachInvoke(f func(m *dex.Method, idx int, ins dex.Instr)) {
+// eachInvoke visits every invoke instruction in the app, stopping at
+// the first error the visitor returns.
+func (p *APG) eachInvoke(f func(m *dex.Method, idx int, ins dex.Instr) error) error {
 	for _, cls := range p.APK.Dex.Classes {
 		for _, m := range cls.Methods {
 			for i, ins := range m.Code {
 				if ins.Op == dex.OpInvokeVirtual || ins.Op == dex.OpInvokeStatic {
-					f(m, i, ins)
+					if err := f(m, i, ins); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
+	return nil
 }
 
 // MethodNode returns the node of a method reference.
@@ -259,12 +334,4 @@ func regType(m *dex.Method, idx, reg int) (typeDesc dex.TypeDesc, constStr strin
 // is the caller of this API".
 func classHasPrefix(cls dex.TypeDesc, pkg string) bool {
 	return strings.HasPrefix(cls.ClassName(), pkg)
-}
-
-func mustEdge(g *graphdb.Graph, from, to graphdb.NodeID, label string) {
-	// Nodes are created by the same builder; an error here is a
-	// programming bug, not an input condition.
-	if err := g.AddEdge(from, to, label); err != nil {
-		panic("apg: " + err.Error())
-	}
 }

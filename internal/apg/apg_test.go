@@ -82,7 +82,7 @@ func methodRef(cls, name, sig string) dex.MethodRef {
 }
 
 func TestBuildStructure(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	if got := len(p.G.NodesByLabel(LabelClass)); got != 4 {
 		t.Fatalf("class nodes = %d", got)
 	}
@@ -95,7 +95,7 @@ func TestBuildStructure(t *testing.T) {
 }
 
 func TestCallEdges(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	onCreate, ok := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	if !ok {
 		t.Fatal("onCreate node missing")
@@ -113,7 +113,7 @@ func TestCallEdges(t *testing.T) {
 }
 
 func TestEdgeMinerCallback(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	reach := p.ReachableMethods()
 	// handleClick is reached only through the onClick callback edge —
 	// but onClick is itself a UI entry, so check the callback edge
@@ -129,7 +129,7 @@ func TestEdgeMinerCallback(t *testing.T) {
 }
 
 func TestICCEdge(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	onCreate, _ := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	iccs := p.G.Out(onCreate, EdgeICC)
 	foundStart := false
@@ -151,7 +151,7 @@ func TestICCDisabled(t *testing.T) {
 	// Component entries remain entry points without ICC (the paper's
 	// entry model), so reachability is unchanged — but the icc edges
 	// themselves must be absent.
-	p := Build(fixtureAPK(t), Options{EdgeMiner: true, ICC: false})
+	p := mustBuild(t, fixtureAPK(t), Options{EdgeMiner: true, ICC: false})
 	onCreate, _ := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	if iccs := p.G.Out(onCreate, EdgeICC); len(iccs) != 0 {
 		t.Fatalf("icc edges with ICC disabled: %v", iccs)
@@ -159,7 +159,7 @@ func TestICCDisabled(t *testing.T) {
 }
 
 func TestEdgeMinerDisabled(t *testing.T) {
-	p := Build(fixtureAPK(t), Options{EdgeMiner: false, ICC: true})
+	p := mustBuild(t, fixtureAPK(t), Options{EdgeMiner: false, ICC: true})
 	onCreate, _ := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	if cbs := p.G.Out(onCreate, EdgeCallback); len(cbs) != 0 {
 		t.Fatalf("callback edges with EdgeMiner disabled: %v", cbs)
@@ -167,14 +167,14 @@ func TestEdgeMinerDisabled(t *testing.T) {
 }
 
 func TestDeadCodeUnreachable(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	if p.ReachableMethods()[methodRef("Lcom/example/app/MainActivity;", "deadCode", "()V")] {
 		t.Fatal("deadCode reported reachable")
 	}
 }
 
 func TestEntries(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	entries := p.Entries()
 	names := map[string]bool{}
 	for _, e := range entries {
@@ -191,7 +191,7 @@ func TestEntries(t *testing.T) {
 }
 
 func TestCallPath(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	path := p.CallPath(methodRef("Lcom/example/app/MainActivity;", "helper", "()V"))
 	if len(path) < 2 {
 		t.Fatalf("path = %v", path)
@@ -236,14 +236,14 @@ func TestThreadStartCallback(t *testing.T) {
 			Activities: []apk.Component{{Name: "com.example.app.MainActivity"}},
 		},
 	}
-	p := Build(apk.New(m, d), DefaultOptions())
+	p := mustBuild(t, apk.New(m, d), DefaultOptions())
 	if !p.ReachableMethods()[methodRef("Lcom/example/app/Worker;", "work", "()V")] {
 		t.Fatal("Worker.work unreachable through Thread.start callback")
 	}
 }
 
 func TestWriteDot(t *testing.T) {
-	p := Build(fixtureAPK(t), DefaultOptions())
+	p := mustBuild(t, fixtureAPK(t), DefaultOptions())
 	var buf strings.Builder
 	if err := p.WriteDot(&buf); err != nil {
 		t.Fatal(err)
@@ -292,7 +292,7 @@ func TestResolveIntentThroughMove(t *testing.T) {
 			Services:   []apk.Component{{Name: "com.example.app.SyncService"}},
 		},
 	}
-	p := Build(apk.New(m, d), DefaultOptions())
+	p := mustBuild(t, apk.New(m, d), DefaultOptions())
 	onCreate, _ := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	if iccs := p.G.Out(onCreate, EdgeICC); len(iccs) == 0 {
 		t.Fatal("icc edge missing through move chain")
@@ -319,7 +319,7 @@ func TestIntentWithoutTargetIgnored(t *testing.T) {
 			Activities: []apk.Component{{Name: "com.example.app.MainActivity"}},
 		},
 	}
-	p := Build(apk.New(m, d), DefaultOptions())
+	p := mustBuild(t, apk.New(m, d), DefaultOptions())
 	onCreate, _ := p.MethodNode(methodRef("Lcom/example/app/MainActivity;", "onCreate", "(Landroid/os/Bundle;)V"))
 	if iccs := p.G.Out(onCreate, EdgeICC); len(iccs) != 0 {
 		t.Fatalf("icc edge for targetless intent: %v", iccs)
@@ -368,7 +368,7 @@ func TestDataDependenceEdges(t *testing.T) {
 			Activities: []apk.Component{{Name: "com.example.app.MainActivity"}},
 		},
 	}
-	p := Build(apk.New(m, d), DefaultOptions())
+	p := mustBuild(t, apk.New(m, d), DefaultOptions())
 	// Find the source and sink statement nodes by their target method.
 	var srcID, sinkID graphdb.NodeID
 	for _, id := range p.G.NodesByLabel(LabelStmt) {
@@ -391,4 +391,13 @@ func TestDataDependenceEdges(t *testing.T) {
 	if len(path) != 3 { // source → move → sink
 		t.Fatalf("du path = %v (len %d, want 3)", path, len(path))
 	}
+}
+
+func mustBuild(t *testing.T, a *apk.APK, opts Options) *APG {
+	t.Helper()
+	p, err := Build(a, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
 }

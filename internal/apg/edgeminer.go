@@ -1,6 +1,8 @@
 package apg
 
 import (
+	"fmt"
+
 	"ppchecker/internal/dex"
 )
 
@@ -74,14 +76,14 @@ func (p *APG) isSubclassOf(cls, super dex.TypeDesc) bool {
 
 // addCallbackEdges adds method→callback edges for every registration
 // site whose listener type can be resolved to a defined class.
-func (p *APG) addCallbackEdges() {
-	p.eachInvoke(func(caller *dex.Method, idx int, ins dex.Instr) {
+func (p *APG) addCallbackEdges() error {
+	return p.eachInvoke(func(caller *dex.Method, idx int, ins dex.Instr) error {
 		reg, ok := p.lookupRegistration(ins.Method)
 		if !ok {
-			return
+			return nil
 		}
 		if reg.ListenerArg >= len(ins.Args) {
-			return
+			return nil
 		}
 		listenerType, _ := regType(caller, idx, ins.Args[reg.ListenerArg])
 		if listenerType == "" {
@@ -91,9 +93,12 @@ func (p *APG) addCallbackEdges() {
 		}
 		cb := p.findCallback(listenerType, reg.Callback)
 		if cb == nil {
-			return
+			return nil
 		}
-		mustEdge(p.G, p.methodNode[caller.Ref()], p.methodNode[cb.Ref()], EdgeCallback)
+		if err := p.G.AddEdge(p.methodNode[caller.Ref()], p.methodNode[cb.Ref()], EdgeCallback); err != nil {
+			return fmt.Errorf("apg: %w", err)
+		}
+		return nil
 	})
 }
 

@@ -1,6 +1,8 @@
 package apg
 
 import (
+	"fmt"
+
 	"ppchecker/internal/apk"
 	"ppchecker/internal/dex"
 )
@@ -32,16 +34,19 @@ var intentEntryByKind = map[apk.ComponentKind][]string{
 // addICCEdges finds launcher invocations, traces the intent register to
 // its component target, and wires the launching method to the target's
 // entries.
-func (p *APG) addICCEdges() {
+func (p *APG) addICCEdges() error {
+	if p.APK.Manifest == nil {
+		return fmt.Errorf("apg: nil manifest")
+	}
 	components := p.APK.Manifest.Components()
-	p.eachInvoke(func(caller *dex.Method, idx int, ins dex.Instr) {
+	return p.eachInvoke(func(caller *dex.Method, idx int, ins dex.Instr) error {
 		argPos, ok := iccLaunchers[ins.Method.Name]
 		if !ok || argPos >= len(ins.Args) {
-			return
+			return nil
 		}
 		targetClass := p.resolveIntentTarget(caller, idx, ins.Args[argPos])
 		if targetClass == "" {
-			return
+			return nil
 		}
 		for _, comp := range components {
 			if comp.Name != targetClass {
@@ -53,10 +58,13 @@ func (p *APG) addICCEdges() {
 			}
 			for _, entry := range intentEntryByKind[comp.Kind] {
 				if m := cls.Method(entry, ""); m != nil {
-					mustEdge(p.G, p.methodNode[caller.Ref()], p.methodNode[m.Ref()], EdgeICC)
+					if err := p.G.AddEdge(p.methodNode[caller.Ref()], p.methodNode[m.Ref()], EdgeICC); err != nil {
+						return fmt.Errorf("apg: %w", err)
+					}
 				}
 			}
 		}
+		return nil
 	})
 }
 

@@ -1,0 +1,64 @@
+package apk_test
+
+import (
+	"testing"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/synth"
+)
+
+// FuzzAPKDecode: the container decoder (including the unpacking path)
+// must handle arbitrary bytes — and every Corruptor fault class —
+// without panicking, and anything it accepts must re-encode cleanly.
+func FuzzAPKDecode(f *testing.F) {
+	d, err := dex.Assemble(`
+.class Lcom/example/fuzz/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := &apk.Manifest{
+		Package:     "com.example.fuzz",
+		Permissions: []apk.Permission{{Name: sensitive.PermFineLocation}},
+		Application: apk.Application{Activities: []apk.Component{{Name: "com.example.fuzz.Main"}}},
+	}
+	for _, packed := range []bool{false, true} {
+		a := apk.New(m, d)
+		a.Packed = packed
+		valid, err := apk.Encode(a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		c := synth.NewCorruptor(2)
+		for _, fault := range []synth.Fault{
+			synth.FaultDexTruncated, synth.FaultDexBitFlip,
+			synth.FaultPackGarbage, synth.FaultCallCycle,
+		} {
+			if seed, err := c.CorruptAPK(valid, fault); err == nil {
+				f.Add(seed)
+			}
+		}
+		for _, seed := range c.Mangle(valid, 16) {
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SAPK\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := apk.Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := apk.Encode(a); err != nil {
+			t.Fatalf("decoded apk fails to re-encode: %v", err)
+		}
+	})
+}

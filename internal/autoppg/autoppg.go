@@ -71,9 +71,13 @@ var channelClause = map[sensitive.Channel]string{
 	sensitive.ChannelBluetooth: "on paired devices",
 }
 
-// Generate produces the policy as HTML.
-func Generate(a *apk.APK, opts Options) string {
-	res := static.Analyze(a, opts.Static)
+// Generate produces the policy as HTML. It fails when the static
+// analysis cannot process the APK.
+func Generate(a *apk.APK, opts Options) (string, error) {
+	res, err := static.Analyze(a, opts.Static)
+	if err != nil {
+		return "", err
+	}
 	name := opts.AppName
 	if name == "" {
 		name = a.Manifest.Package
@@ -128,7 +132,7 @@ func Generate(a *apk.APK, opts Options) string {
 	}
 	b.WriteString("<p>If you have any questions about this policy, please email our support team.</p>\n")
 	b.WriteString("</body></html>\n")
-	return b.String()
+	return b.String(), nil
 }
 
 func sortedInfos(set map[sensitive.Info]bool) []sensitive.Info {

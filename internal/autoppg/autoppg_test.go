@@ -51,7 +51,7 @@ func TestGenerateDeclaresBehaviour(t *testing.T) {
 .class Lcom/flurry/android/Agent;
 .end class
 `)
-	policy := Generate(a, DefaultOptions())
+	policy := mustGenerate(t, a, DefaultOptions())
 	for _, want := range []string{
 		"location information",
 		"device identifier",
@@ -72,7 +72,7 @@ func TestGenerateCleanApp(t *testing.T) {
 .end method
 .end class
 `)
-	policy := Generate(a, DefaultOptions())
+	policy := mustGenerate(t, a, DefaultOptions())
 	if !strings.Contains(policy, "does not access personal information") {
 		t.Fatalf("clean app policy:\n%s", policy)
 	}
@@ -96,7 +96,7 @@ func TestClosureProperty(t *testing.T) {
 		app := *ga.App
 		opts := DefaultOptions()
 		opts.Description = app.Description
-		app.PolicyHTML = Generate(app.APK, opts)
+		app.PolicyHTML = mustGenerate(t, app.APK, opts)
 		r := checker.Check(&app)
 		if r.HasProblem() {
 			problems++
@@ -109,4 +109,13 @@ func TestClosureProperty(t *testing.T) {
 	if problems > 0 {
 		t.Fatalf("%d apps with problems after regeneration", problems)
 	}
+}
+
+func mustGenerate(t *testing.T, a *apk.APK, opts Options) string {
+	t.Helper()
+	policy, err := Generate(a, opts)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return policy
 }

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"ppchecker/internal/apk"
 	"ppchecker/internal/core"
@@ -40,6 +41,35 @@ const (
 type TruthEntry struct {
 	Pkg   string
 	Truth synth.GroundTruth
+}
+
+// FileError is a typed per-file bundle error: it names the bundle
+// directory and file, and distinguishes a missing file from a corrupt
+// one.
+type FileError struct {
+	Dir  string
+	File string
+	Err  error
+	// Missing is true when the file does not exist (vs exists but is
+	// unreadable or corrupt).
+	Missing bool
+}
+
+// Error implements the error interface.
+func (e *FileError) Error() string {
+	kind := "corrupt"
+	if e.Missing {
+		kind = "missing"
+	}
+	return fmt.Sprintf("bundle: %s file %s in %s: %v", kind, e.File, e.Dir, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *FileError) Unwrap() error { return e.Err }
+
+// fileError builds a FileError, classifying os.IsNotExist as Missing.
+func fileError(dir, file string, err error) *FileError {
+	return &FileError{Dir: dir, File: file, Err: err, Missing: os.IsNotExist(err)}
 }
 
 // WriteApp writes one app bundle directory.
@@ -65,36 +95,70 @@ func WriteApp(dir string, app *core.App) error {
 	return nil
 }
 
-// ReadApp loads one app bundle. libsDir may be empty, in which case no
-// library policies are attached; missing library policies are skipped,
-// mirroring the paper's handling of libs without English policies.
+// ReadApp loads one app bundle. The required files are policy.html and
+// app.apk: a missing or corrupt one fails with a *FileError naming the
+// file. description.txt and libs.txt are optional — when absent the app
+// proceeds with an empty description / no libraries. libsDir may be
+// empty, in which case no library policies are attached; missing
+// library policies are skipped, mirroring the paper's handling of libs
+// without English policies.
 func ReadApp(dir, libsDir string) (*core.App, error) {
-	policy, err := os.ReadFile(filepath.Join(dir, FilePolicy))
-	if err != nil {
-		return nil, err
+	app, ferrs := ReadAppLenient(dir, libsDir)
+	for _, fe := range ferrs {
+		if fe.File == FilePolicy || fe.File == FileAPK {
+			return nil, fe
+		}
 	}
-	description, err := os.ReadFile(filepath.Join(dir, FileDescription))
-	if err != nil {
-		return nil, err
-	}
-	apkData, err := os.ReadFile(filepath.Join(dir, FileAPK))
-	if err != nil {
-		return nil, err
-	}
-	a, err := apk.Decode(apkData)
-	if err != nil {
-		return nil, fmt.Errorf("bundle: parse %s: %w", filepath.Join(dir, FileAPK), err)
-	}
+	return app, nil
+}
+
+// ReadAppLenient loads whatever parts of an app bundle it can, never
+// failing outright: each unreadable or corrupt file is reported as a
+// *FileError while the corresponding App field stays zero. Optional
+// files (description.txt, libs.txt) produce no error when merely
+// absent. The robust corpus runner uses this to degrade per-file
+// instead of dropping the whole app.
+func ReadAppLenient(dir, libsDir string) (*core.App, []*FileError) {
+	var ferrs []*FileError
 	app := &core.App{
-		Name:        a.Manifest.Package,
-		PolicyHTML:  string(policy),
-		Description: string(description),
-		APK:         a,
+		Name:        filepath.Base(dir),
 		LibPolicies: map[string]string{},
 	}
+
+	if policy, err := os.ReadFile(filepath.Join(dir, FilePolicy)); err != nil {
+		ferrs = append(ferrs, fileError(dir, FilePolicy, err))
+	} else if !utf8.Valid(policy) {
+		// The raw bytes still reach the app so CheckSafe can report the
+		// extraction failure with full context, but the bundle layer
+		// flags the corruption too.
+		app.PolicyHTML = string(policy)
+		ferrs = append(ferrs, &FileError{Dir: dir, File: FilePolicy,
+			Err: fmt.Errorf("not valid UTF-8")})
+	} else {
+		app.PolicyHTML = string(policy)
+	}
+
+	if description, err := os.ReadFile(filepath.Join(dir, FileDescription)); err != nil {
+		if !os.IsNotExist(err) {
+			ferrs = append(ferrs, fileError(dir, FileDescription, err))
+		}
+	} else {
+		app.Description = string(description)
+	}
+
+	apkData, err := os.ReadFile(filepath.Join(dir, FileAPK))
+	if err != nil {
+		ferrs = append(ferrs, fileError(dir, FileAPK, err))
+	} else if a, err := apk.Decode(apkData); err != nil {
+		ferrs = append(ferrs, &FileError{Dir: dir, File: FileAPK, Err: err})
+	} else {
+		app.APK = a
+		app.Name = a.Manifest.Package
+	}
+
 	libData, err := os.ReadFile(filepath.Join(dir, FileLibs))
 	if err != nil || libsDir == "" {
-		return app, nil
+		return app, ferrs
 	}
 	for _, name := range strings.Split(strings.TrimSpace(string(libData)), "\n") {
 		name = strings.TrimSpace(name)
@@ -107,7 +171,7 @@ func ReadApp(dir, libsDir string) (*core.App, error) {
 		}
 		app.LibPolicies[name] = string(data)
 	}
-	return app, nil
+	return app, ferrs
 }
 
 // WriteDataset writes a whole corpus tree.
@@ -149,7 +213,9 @@ func ReadTruth(corpusDir string) ([]TruthEntry, error) {
 }
 
 // ListApps returns the app bundle directories of a corpus in sorted
-// order.
+// order. Directories that contain neither a policy nor an APK are not
+// app bundles (editor droppings, VCS metadata) and are skipped rather
+// than failing the listing.
 func ListApps(corpusDir string) ([]string, error) {
 	entries, err := os.ReadDir(filepath.Join(corpusDir, DirApps))
 	if err != nil {
@@ -157,12 +223,28 @@ func ListApps(corpusDir string) ([]string, error) {
 	}
 	var dirs []string
 	for _, e := range entries {
-		if e.IsDir() {
-			dirs = append(dirs, filepath.Join(corpusDir, DirApps, e.Name()))
+		if !e.IsDir() {
+			continue
 		}
+		dir := filepath.Join(corpusDir, DirApps, e.Name())
+		if !isBundleDir(dir) {
+			continue
+		}
+		dirs = append(dirs, dir)
 	}
 	sort.Strings(dirs)
 	return dirs, nil
+}
+
+// isBundleDir reports whether a directory looks like an app bundle:
+// it holds at least one of the required files.
+func isBundleDir(dir string) bool {
+	for _, name := range []string{FilePolicy, FileAPK} {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil && !st.IsDir() {
+			return true
+		}
+	}
+	return false
 }
 
 func libList(libPolicies map[string]string) string {

@@ -7,10 +7,11 @@
 package core
 
 import (
+	"context"
+
 	"ppchecker/internal/apk"
 	"ppchecker/internal/desc"
 	"ppchecker/internal/esa"
-	"ppchecker/internal/libdetect"
 	"ppchecker/internal/patterns"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/static"
@@ -111,18 +112,11 @@ func NewChecker(opts ...CheckerOption) *Checker {
 }
 
 // Check runs the three detectors over one app and returns the report.
+// It is CheckSafe without a deadline: well-formed input produces the
+// identical report; malformed input degrades to a Partial report
+// instead of panicking.
 func (c *Checker) Check(app *App) *Report {
-	r := &Report{App: appName(app)}
-	r.Policy = c.policyAnalyzer.AnalyzeHTML(app.PolicyHTML)
-	r.Desc = c.descAnalyzer.Analyze(app.Description)
-	if app.APK != nil {
-		r.Static = static.Analyze(app.APK, c.staticOpts)
-		r.Libs = libdetect.Detect(app.APK.Dex)
-	}
-
-	c.detectIncomplete(app, r)
-	c.detectIncorrect(app, r)
-	c.detectInconsistent(app, r)
+	r, _ := c.CheckSafe(context.Background(), app)
 	return r
 }
 

@@ -74,6 +74,28 @@ type Report struct {
 	Desc   *desc.Result
 	Static *static.Result
 	Libs   []libdetect.Library
+
+	// Partial marks a degraded report: one or more pipeline stages
+	// failed (listed in Degraded) and their findings may be missing.
+	Partial bool
+	// Degraded lists the stage failures behind a Partial report.
+	Degraded []*StageError `json:",omitempty"`
+}
+
+// AddDegraded records a stage failure and marks the report partial.
+func (r *Report) AddDegraded(e *StageError) {
+	r.Partial = true
+	r.Degraded = append(r.Degraded, e)
+}
+
+// DegradedStage reports whether the named stage failed.
+func (r *Report) DegradedStage(s Stage) bool {
+	for _, e := range r.Degraded {
+		if e.Stage == s {
+			return true
+		}
+	}
+	return false
 }
 
 // HasProblem reports whether any detector fired.
@@ -108,6 +130,9 @@ func (r *Report) IncorrectVia(v Via) []IncorrectFinding {
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "app %s:\n", r.App)
+	if r.Partial {
+		fmt.Fprintf(&b, "  PARTIAL analysis (degraded stages: %s)\n", degradedStages(r.Degraded))
+	}
 	if !r.HasProblem() {
 		b.WriteString("  no problems found\n")
 		return b.String()

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"ppchecker/internal/apg"
+	"ppchecker/internal/htmltext"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/static"
+)
+
+// CheckSafe runs the full pipeline with every stage isolated: panics
+// are recovered into StageError values, ctx cancellation/deadline is
+// honoured between stages, and a failed stage degrades the report
+// instead of aborting it — the detectors still run over whatever
+// analyses succeeded, and the report is marked Partial with the list of
+// degraded stages.
+//
+// The returned error is non-nil only for ctx cancellation (the partial
+// report is still returned) or a nil app; every per-stage failure is
+// reported through Report.Degraded.
+func (c *Checker) CheckSafe(ctx context.Context, app *App) (*Report, error) {
+	if app == nil {
+		return nil, errors.New("core: nil app")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &Report{App: appName(app)}
+
+	// HTML extraction.
+	var policyText string
+	okExtract := c.stage(ctx, r, StageExtract, func() error {
+		if !utf8.ValidString(app.PolicyHTML) {
+			return errors.New("policy is not valid UTF-8")
+		}
+		policyText = htmltext.Extract(app.PolicyHTML)
+		if strings.TrimSpace(app.PolicyHTML) != "" && strings.TrimSpace(policyText) == "" {
+			return errors.New("no text extracted from non-empty policy HTML")
+		}
+		return nil
+	})
+
+	// Policy NLP.
+	policyOK := false
+	if okExtract {
+		policyOK = c.stage(ctx, r, StagePolicy, func() error {
+			if err := nlp.GuardText(policyText); err != nil {
+				return err
+			}
+			r.Policy = c.policyAnalyzer.AnalyzeText(policyText)
+			return nil
+		})
+	}
+	if r.Policy == nil {
+		// The detectors dereference r.Policy; an empty analysis keeps
+		// them nil-safe without inventing statements.
+		r.Policy = &policy.Analysis{}
+	}
+
+	// Description analysis. A nil Desc is already understood by the
+	// detectors as "no description evidence".
+	c.stage(ctx, r, StageDesc, func() error {
+		r.Desc = c.descAnalyzer.Analyze(app.Description)
+		return nil
+	})
+
+	// Static analysis over the APK, when present: APG build + site scan
+	// first, then taint as a separately-degradable stage.
+	if app.APK != nil {
+		var p *apg.APG
+		okStatic := c.stage(ctx, r, StageStatic, func() error {
+			res, pg, err := static.Collect(ctx, app.APK, c.staticOpts)
+			if err != nil {
+				return err
+			}
+			r.Static, p = res, pg
+			return nil
+		})
+		if okStatic {
+			c.stage(ctx, r, StageTaint, func() error {
+				leaks, err := static.TaintLeaks(ctx, p)
+				if err != nil {
+					return err
+				}
+				r.Static.Leaks = leaks
+				return nil
+			})
+		}
+		c.stage(ctx, r, StageLibs, func() error {
+			if app.APK.Dex == nil {
+				return errors.New("no bytecode to scan for libraries")
+			}
+			r.Libs = libdetect.Detect(app.APK.Dex)
+			return nil
+		})
+	}
+
+	// Detectors. When the policy analysis itself failed, the policy
+	// detectors would report every collected info as unmentioned —
+	// noise, not findings — so they are suppressed and the degradation
+	// already recorded for the policy stage stands.
+	if policyOK {
+		c.stage(ctx, r, StageDetect, func() error {
+			c.detectIncomplete(app, r)
+			c.detectIncorrect(app, r)
+			c.detectInconsistent(app, r)
+			return nil
+		})
+	}
+
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// stage runs one pipeline stage behind panic recovery and a
+// cancellation check, recording any failure on the report. It reports
+// whether the stage completed successfully.
+func (c *Checker) stage(ctx context.Context, r *Report, s Stage, fn func() error) bool {
+	if err := ctx.Err(); err != nil {
+		r.AddDegraded(&StageError{Stage: s, App: r.App, Err: err})
+		return false
+	}
+	err, recovered := runRecovered(fn)
+	if err != nil {
+		r.AddDegraded(&StageError{Stage: s, App: r.App, Err: err, Recovered: recovered})
+		return false
+	}
+	return true
+}
+
+// runRecovered invokes fn, converting a panic into an error. Note that
+// stack exhaustion is not recoverable in Go; the size guards in apg,
+// taint, and nlp exist precisely so no input can reach that state.
+func runRecovered(fn func() error) (err error, recovered bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+			recovered = true
+		}
+	}()
+	return fn(), false
+}

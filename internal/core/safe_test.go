@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/sensitive"
+
+	"strings"
+)
+
+// testApp builds a small valid app: the code reads location, the
+// policy discloses it, so the full pipeline runs with no findings.
+func testApp(t *testing.T) *core.App {
+	t.Helper()
+	d, err := dex.Assemble(`
+.class Lcom/example/safe/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &apk.Manifest{
+		Package:     "com.example.safe",
+		Permissions: []apk.Permission{{Name: sensitive.PermFineLocation}},
+		Application: apk.Application{Activities: []apk.Component{{Name: "com.example.safe.Main"}}},
+	}
+	return &core.App{
+		Name:        "com.example.safe",
+		PolicyHTML:  "<html><body><p>We collect your location information.</p></body></html>",
+		Description: "A handy example app.",
+		APK:         apk.New(m, d),
+	}
+}
+
+// TestCheckSafeParity: on a valid app, CheckSafe must be exactly Check
+// — same findings, no degradation. Check itself delegates to
+// CheckSafe, so this pins the never-regress contract for clean input.
+func TestCheckSafeParity(t *testing.T) {
+	app := testApp(t)
+	r1 := core.NewChecker().Check(app)
+	r2, err := core.NewChecker().CheckSafe(context.Background(), app)
+	if err != nil {
+		t.Fatalf("CheckSafe: %v", err)
+	}
+	if r2.Partial {
+		t.Fatalf("clean app degraded: %v", r2.Degraded)
+	}
+	if r1.Summary() != r2.Summary() {
+		t.Fatalf("Check and CheckSafe disagree:\n%s\nvs\n%s", r1.Summary(), r2.Summary())
+	}
+}
+
+func TestCheckSafeNilApp(t *testing.T) {
+	if _, err := core.NewChecker().CheckSafe(context.Background(), nil); err == nil {
+		t.Fatal("nil app accepted")
+	}
+}
+
+// TestCheckSafeCanceled: a pre-canceled context yields a partial
+// report (every stage degraded with the context error) plus the
+// context error itself, instead of hanging or panicking.
+func TestCheckSafeCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := core.NewChecker().CheckSafe(ctx, testApp(t))
+	if err == nil {
+		t.Fatal("no error from canceled context")
+	}
+	if r == nil || !r.Partial {
+		t.Fatalf("canceled run not partial: %+v", r)
+	}
+	for _, e := range r.Degraded {
+		if !strings.Contains(e.Err.Error(), "context canceled") {
+			t.Fatalf("stage %s degraded with %v, want context error", e.Stage, e.Err)
+		}
+	}
+}
+
+// TestCheckSafePanicIsolated: a panic inside one stage (here a nil
+// method planted in the dex, which the APG walk dereferences) becomes
+// a Recovered StageError while the rest of the pipeline completes.
+func TestCheckSafePanicIsolated(t *testing.T) {
+	app := testApp(t)
+	cls := app.APK.Dex.Classes[0]
+	cls.Methods = append(cls.Methods, nil)
+	r, err := core.NewChecker().CheckSafe(context.Background(), app)
+	if err != nil {
+		t.Fatalf("CheckSafe: %v", err)
+	}
+	if !r.Partial || !r.DegradedStage(core.StageStatic) {
+		t.Fatalf("static panic not recorded: partial=%v degraded=%v", r.Partial, r.Degraded)
+	}
+	var found bool
+	for _, e := range r.Degraded {
+		if e.Stage == core.StageStatic && e.Recovered {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("static failure not marked Recovered: %v", r.Degraded)
+	}
+	// The policy side of the pipeline survived.
+	if r.DegradedStage(core.StagePolicy) || r.Policy == nil {
+		t.Fatal("policy stage should be unaffected by a static panic")
+	}
+}
+
+// TestCheckSafePolicyBombSuppressesDetectors: a policy that trips the
+// NLP tractability guard degrades the policy stage, and the detectors
+// are suppressed (their output would be all-noise) rather than run.
+func TestCheckSafePolicyBombSuppressesDetectors(t *testing.T) {
+	app := testApp(t)
+	app.PolicyHTML = strings.Repeat("endless tokens without any boundary ", nlp.MaxSentenceBytes/36+64)
+	r, err := core.NewChecker().CheckSafe(context.Background(), app)
+	if err != nil {
+		t.Fatalf("CheckSafe: %v", err)
+	}
+	if !r.Partial || !r.DegradedStage(core.StagePolicy) {
+		t.Fatalf("policy bomb not degraded: %v", r.Degraded)
+	}
+	if r.HasProblem() {
+		t.Fatalf("detectors ran on a failed policy analysis: %s", r.Summary())
+	}
+	if r.Policy == nil {
+		t.Fatal("Policy must stay non-nil for downstream consumers")
+	}
+}
+
+// TestCheckSafeEmptyExtraction: markup that swallows the whole
+// document (an unclosed <script>) fails the extract stage explicitly.
+func TestCheckSafeEmptyExtraction(t *testing.T) {
+	app := testApp(t)
+	app.PolicyHTML = "<script>" + app.PolicyHTML
+	r, err := core.NewChecker().CheckSafe(context.Background(), app)
+	if err != nil {
+		t.Fatalf("CheckSafe: %v", err)
+	}
+	if !r.DegradedStage(core.StageExtract) {
+		t.Fatalf("empty extraction not degraded: %v", r.Degraded)
+	}
+}
+
+// TestCheckSafeBadUTF8 covers the invalid-encoding path of the extract
+// stage.
+func TestCheckSafeBadUTF8(t *testing.T) {
+	app := testApp(t)
+	app.PolicyHTML = "we collect \xff\xfe location"
+	r, err := core.NewChecker().CheckSafe(context.Background(), app)
+	if err != nil {
+		t.Fatalf("CheckSafe: %v", err)
+	}
+	if !r.DegradedStage(core.StageExtract) {
+		t.Fatalf("invalid UTF-8 not degraded: %v", r.Degraded)
+	}
+}

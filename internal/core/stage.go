@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Stage names one phase of the checking pipeline, in execution order.
+// CheckSafe runs every stage behind panic recovery and cancellation
+// checks; a failed stage produces a StageError and the pipeline
+// continues with whatever later stages can still use.
+type Stage string
+
+// The pipeline stages.
+const (
+	// StageRead covers loading bundle files from disk. CheckSafe itself
+	// never reads files; the corpus runner records read failures under
+	// this stage.
+	StageRead Stage = "bundle-read"
+	// StageExtract converts policy HTML to clean text.
+	StageExtract Stage = "html-extract"
+	// StagePolicy runs sentence splitting and pattern analysis over the
+	// extracted policy text.
+	StagePolicy Stage = "policy-nlp"
+	// StageDesc analyzes the Google Play description.
+	StageDesc Stage = "description"
+	// StageDecode covers APK container decoding and unpacking. Like
+	// StageRead it happens outside CheckSafe (the App arrives decoded);
+	// the corpus runner records decode failures under this stage.
+	StageDecode Stage = "apk-decode"
+	// StageStatic builds the APG and scans for collection sites.
+	StageStatic Stage = "apg-static"
+	// StageTaint runs the source→sink taint analysis.
+	StageTaint Stage = "taint"
+	// StageLibs detects bundled third-party libraries.
+	StageLibs Stage = "libdetect"
+	// StageDetect runs the three problem detectors.
+	StageDetect Stage = "detectors"
+	// StageRun covers whole-app failures that no single pipeline stage
+	// owns: a worker panic outside CheckSafe, a per-app timeout that
+	// exhausted its retries, or a run canceled before the app started.
+	StageRun Stage = "corpus-run"
+)
+
+// StageError is a typed pipeline failure: which stage failed, for which
+// app, and whether the error was recovered from a panic.
+type StageError struct {
+	Stage Stage
+	App   string
+	Err   error
+	// Recovered is true when the error was converted from a panic
+	// rather than returned by the stage.
+	Recovered bool
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	kind := "failed"
+	if e.Recovered {
+		kind = "panicked"
+	}
+	return fmt.Sprintf("stage %s %s for app %s: %v", e.Stage, kind, e.App, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// MarshalJSON renders the wrapped error as a string; the error
+// interface would otherwise marshal as an empty object.
+func (e *StageError) MarshalJSON() ([]byte, error) {
+	msg := ""
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	return json.Marshal(struct {
+		Stage     Stage
+		App       string
+		Err       string
+		Recovered bool
+	}{e.Stage, e.App, msg, e.Recovered})
+}
+
+// degradedStages renders a comma-separated list of the failed stages,
+// deduplicated: a stage that failed more than once (e.g. two missing
+// required files, both bundle-read) is listed once.
+func degradedStages(errs []*StageError) string {
+	names := make([]string, 0, len(errs))
+	seen := make(map[Stage]bool, len(errs))
+	for _, e := range errs {
+		if seen[e.Stage] {
+			continue
+		}
+		seen[e.Stage] = true
+		names = append(names, string(e.Stage))
+	}
+	return strings.Join(names, ", ")
+}

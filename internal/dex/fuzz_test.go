@@ -1,0 +1,43 @@
+package dex_test
+
+import (
+	"testing"
+
+	"ppchecker/internal/dex"
+	"ppchecker/internal/synth"
+)
+
+// FuzzDexDecode: Decode must reject arbitrary bytes with an error,
+// never a panic, and anything it accepts must survive Verify and a
+// re-encode round trip without crashing.
+func FuzzDexDecode(f *testing.F) {
+	d, err := dex.Assemble(`
+.class Lcom/example/fuzz/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    const-string v1, "content://com.android.contacts"
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    if-z v1, 3
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := dex.Encode(d)
+	f.Add(valid)
+	f.Add(dex.Encode(synth.BombDex()))
+	f.Add([]byte{})
+	f.Add([]byte("SDEX"))
+	for _, seed := range synth.NewCorruptor(1).Mangle(valid, 16) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := dex.Decode(data)
+		if err != nil {
+			return
+		}
+		_ = dex.Verify(img)
+		dex.Encode(img)
+	})
+}

@@ -1,8 +1,8 @@
 package eval
 
 import (
+	"context"
 	"runtime"
-	"sync"
 
 	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
@@ -12,7 +12,9 @@ import (
 // EvaluateCorpusParallel is EvaluateCorpus fanned out over a worker
 // pool. A Checker is not safe for concurrent use (it memoizes library
 // policy analyses), so each worker owns one; results land at their
-// app's index, keeping output identical to the serial path.
+// app's index, keeping output identical to the serial path. The work
+// runs on the robust engine, so one misbehaving app degrades its own
+// report instead of crashing the run.
 func EvaluateCorpusParallel(ds *synth.Dataset, workers int, opts ...core.CheckerOption) *CorpusResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -23,28 +25,8 @@ func EvaluateCorpusParallel(ds *synth.Dataset, workers int, opts ...core.Checker
 	if workers <= 1 {
 		return EvaluateCorpus(ds, opts...)
 	}
-	res := &CorpusResult{
-		Reports: make([]*core.Report, len(ds.Apps)),
-		Truths:  make([]synth.GroundTruth, len(ds.Apps)),
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			checker := core.NewChecker(opts...)
-			for i := range jobs {
-				res.Reports[i] = checker.Check(ds.Apps[i].App)
-				res.Truths[i] = ds.Apps[i].Truth
-			}
-		}()
-	}
-	for i := range ds.Apps {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	res, _, _ := EvaluateCorpusRobust(context.Background(), ds,
+		RunOptions{Workers: workers, CheckerOptions: opts})
 	return res
 }
 

@@ -1,0 +1,288 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/core"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/synth"
+)
+
+// RunStats summarizes how a robust corpus run went, app by app. The
+// counts partition the corpus: Apps = Checked + Degraded + Failed +
+// Skipped. Retried counts extra attempts, not apps.
+type RunStats struct {
+	// Apps is the total number of apps in the run.
+	Apps int
+	// Checked counts apps whose full pipeline completed cleanly.
+	Checked int
+	// Degraded counts apps whose report is Partial: one or more stages
+	// failed but the rest of the pipeline still produced findings.
+	Degraded int
+	// Failed counts apps with no usable analysis — a worker panic
+	// outside the pipeline or a per-app timeout that survived every
+	// retry. Their report slot holds a stub so table code stays safe.
+	Failed int
+	// Retried counts retry attempts performed across all apps.
+	Retried int
+	// Skipped counts apps abandoned because the run context was
+	// canceled (either before they started or mid-analysis).
+	Skipped int
+}
+
+// Render prints the run statistics on one line, suitable for showing
+// alongside the paper tables.
+func (s RunStats) Render() string {
+	return fmt.Sprintf(
+		"Corpus run: %d apps — %d checked clean, %d degraded, %d failed, %d skipped (%d retries)",
+		s.Apps, s.Checked, s.Degraded, s.Failed, s.Skipped, s.Retried)
+}
+
+// RunOptions configures the robust corpus runner.
+type RunOptions struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// PerAppTimeout bounds one analysis attempt; 0 means no bound.
+	PerAppTimeout time.Duration
+	// MaxRetries is how many extra attempts a failed app gets.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry.
+	RetryBackoff time.Duration
+	// CheckerOptions configure the per-worker checkers.
+	CheckerOptions []core.CheckerOption
+}
+
+// DefaultRunOptions returns the runner defaults: GOMAXPROCS workers,
+// no per-app timeout, one retry after a short backoff.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{MaxRetries: 1, RetryBackoff: 50 * time.Millisecond}
+}
+
+// Per-app outcomes, mapped one-to-one onto RunStats counters.
+const (
+	outcomeChecked = iota
+	outcomeDegraded
+	outcomeFailed
+	outcomeSkipped
+)
+
+// appJob is one unit of corpus work: an app's name and ground truth
+// plus a closure that produces its report on a worker's checker.
+type appJob struct {
+	name  string
+	truth synth.GroundTruth
+	run   func(ctx context.Context, checker *core.Checker) (*core.Report, error)
+}
+
+// EvaluateCorpusRobust is the fault-tolerant corpus runner: every app
+// is analyzed in isolation (a panic or timeout in one cannot take down
+// the run), hard failures get bounded retries, and canceling ctx
+// returns promptly with the remaining apps counted as Skipped. Each
+// report lands at its app's index, so on an all-clean run the result
+// is identical to EvaluateCorpusParallel.
+func EvaluateCorpusRobust(ctx context.Context, ds *synth.Dataset, opts RunOptions) (*CorpusResult, RunStats, error) {
+	jobs := make([]appJob, len(ds.Apps))
+	for i, ga := range ds.Apps {
+		app := ga.App
+		jobs[i] = appJob{
+			name:  app.Name,
+			truth: ga.Truth,
+			run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
+				return checker.CheckSafe(ctx, app)
+			},
+		}
+	}
+	return runRobust(ctx, jobs, opts)
+}
+
+// EvaluateCorpusDirRobust evaluates an on-disk corpus the way
+// EvaluateCorpusDir does, but tolerates damage: unreadable or corrupt
+// bundle files degrade that one app (recorded under StageRead or
+// StageDecode) instead of failing the whole run, and a missing
+// truth.json yields empty ground truth rather than an error.
+func EvaluateCorpusDirRobust(ctx context.Context, dir string, opts RunOptions) (*CorpusResult, RunStats, error) {
+	appDirs, err := bundle.ListApps(dir)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	truthByPkg := map[string]synth.GroundTruth{}
+	if truths, err := bundle.ReadTruth(dir); err == nil {
+		for _, t := range truths {
+			truthByPkg[t.Pkg] = t.Truth
+		}
+	}
+	libsDir := filepath.Join(dir, bundle.DirLibs)
+	jobs := make([]appJob, len(appDirs))
+	for i, appDir := range appDirs {
+		appDir := appDir
+		name := filepath.Base(appDir)
+		jobs[i] = appJob{
+			name:  name,
+			truth: truthByPkg[name],
+			run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
+				app, ferrs := bundle.ReadAppLenient(appDir, libsDir)
+				rep, err := checker.CheckSafe(ctx, app)
+				if rep != nil {
+					for _, fe := range ferrs {
+						st := core.StageRead
+						if fe.File == bundle.FileAPK && !fe.Missing {
+							st = core.StageDecode
+						}
+						rep.AddDegraded(&core.StageError{Stage: st, App: app.Name, Err: fe})
+					}
+				}
+				return rep, err
+			},
+		}
+	}
+	return runRobust(ctx, jobs, opts)
+}
+
+// runRobust drives the worker pool over the jobs. Reports land at
+// their job's index; every slot is filled — apps never attempted get a
+// Skipped stub — so downstream table code needs no nil checks.
+func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResult, RunStats, error) {
+	n := len(jobs)
+	stats := RunStats{Apps: n}
+	res := &CorpusResult{
+		Reports: make([]*core.Report, n),
+		Truths:  make([]synth.GroundTruth, n),
+	}
+	for i := range jobs {
+		res.Truths[i] = jobs[i].truth
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			checker := core.NewChecker(opts.CheckerOptions...)
+			for i := range idxCh {
+				rep, outcome, retries := checkOne(ctx, checker, jobs[i], opts)
+				res.Reports[i] = rep
+				mu.Lock()
+				stats.Retried += retries
+				switch outcome {
+				case outcomeChecked:
+					stats.Checked++
+				case outcomeDegraded:
+					stats.Degraded++
+				case outcomeFailed:
+					stats.Failed++
+				case outcomeSkipped:
+					stats.Skipped++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	for i := range res.Reports {
+		if res.Reports[i] == nil {
+			res.Reports[i] = stubReport(jobs[i].name, ctx.Err())
+			stats.Skipped++
+		}
+	}
+	return res, stats, ctx.Err()
+}
+
+// checkOne analyzes one app with bounded retries. Hard failures (a
+// panic outside the pipeline's own recovery, or a per-app timeout) are
+// retried up to MaxRetries with RetryBackoff between attempts; a
+// degraded-but-complete report is an answer, not a failure, and is
+// never retried. Parent-context cancellation always wins over retry.
+func checkOne(ctx context.Context, checker *core.Checker, job appJob, opts RunOptions) (*core.Report, int, int) {
+	retries := 0
+	for {
+		rep, err := attemptOnce(ctx, checker, job, opts.PerAppTimeout)
+		if err == nil && rep != nil {
+			if rep.Partial {
+				return rep, outcomeDegraded, retries
+			}
+			return rep, outcomeChecked, retries
+		}
+		if ctx.Err() != nil {
+			if rep == nil {
+				rep = stubReport(job.name, ctx.Err())
+			}
+			return rep, outcomeSkipped, retries
+		}
+		if retries >= opts.MaxRetries {
+			if rep == nil {
+				rep = stubReport(job.name, err)
+			}
+			return rep, outcomeFailed, retries
+		}
+		retries++
+		if opts.RetryBackoff > 0 {
+			select {
+			case <-time.After(opts.RetryBackoff):
+			case <-ctx.Done():
+				if rep == nil {
+					rep = stubReport(job.name, ctx.Err())
+				}
+				return rep, outcomeSkipped, retries
+			}
+		}
+	}
+}
+
+// attemptOnce runs one analysis attempt under the per-app timeout,
+// converting any panic that escapes the job into an error so a single
+// bad app cannot kill its worker goroutine.
+func attemptOnce(ctx context.Context, checker *core.Checker, job appJob, timeout time.Duration) (rep *core.Report, err error) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("app %s: worker panic: %v", job.name, r)
+		}
+	}()
+	return job.run(actx, checker)
+}
+
+// stubReport stands in for an app that produced no report at all, so
+// result slices stay fully populated. It carries the failure as a
+// StageRun error and keeps the never-nil Policy invariant that the
+// detectors and table code rely on.
+func stubReport(name string, err error) *core.Report {
+	if err == nil {
+		err = context.Canceled
+	}
+	r := &core.Report{App: name, Policy: &policy.Analysis{}}
+	r.AddDegraded(&core.StageError{Stage: core.StageRun, App: name, Err: err})
+	return r
+}

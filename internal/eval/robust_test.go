@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/synth"
+)
+
+func robustDataset(t *testing.T) *synth.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestRobustCorpusWithCorruption is the headline acceptance test: with
+// 20% of an on-disk corpus corrupted across every fault class, the run
+// completes, the corrupted apps come back Degraded, and the untouched
+// 80% produce detection results identical to the clean baseline.
+func TestRobustCorpusWithCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := bundle.WriteDataset(robustDataset(t), dir); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := DefaultRunOptions()
+
+	base, baseStats, err := EvaluateCorpusDirRobust(ctx, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.Checked != baseStats.Apps || baseStats.Degraded+baseStats.Failed+baseStats.Skipped != 0 {
+		t.Fatalf("clean corpus not clean: %s", baseStats.Render())
+	}
+
+	corrupted, err := synth.NewCorruptor(99).CorruptCorpus(dir, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupted) == 0 {
+		t.Fatal("no apps corrupted")
+	}
+
+	res, stats, err := EvaluateCorpusDirRobust(ctx, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != len(base.Reports) {
+		t.Fatalf("report count changed: %d vs %d", len(res.Reports), len(base.Reports))
+	}
+	if stats.Degraded != len(corrupted) || stats.Failed != 0 || stats.Skipped != 0 {
+		t.Fatalf("want %d degraded, got %s", len(corrupted), stats.Render())
+	}
+	if stats.Checked != stats.Apps-len(corrupted) {
+		t.Fatalf("checked count off: %s", stats.Render())
+	}
+	for i, rep := range res.Reports {
+		if fault, isCorrupted := corrupted[rep.App]; isCorrupted {
+			if !rep.Partial {
+				t.Errorf("corrupted app %s (%s) not marked Partial", rep.App, fault)
+			}
+			continue
+		}
+		if rep.Partial {
+			t.Errorf("untouched app %s marked Partial: %v", rep.App, rep.Degraded)
+		}
+		if got, want := rep.Summary(), base.Reports[i].Summary(); got != want {
+			t.Errorf("untouched app %s changed detection results:\n%s\nvs baseline\n%s",
+				rep.App, got, want)
+		}
+	}
+}
+
+// TestRobustPreCanceled: a run whose context is already canceled
+// returns immediately with every app Skipped and a stub report in
+// every slot, so downstream table code stays nil-safe.
+func TestRobustPreCanceled(t *testing.T) {
+	ds := robustDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, stats, err := EvaluateCorpusRobust(ctx, ds, DefaultRunOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Skipped != len(ds.Apps) {
+		t.Fatalf("want all %d apps skipped: %s", len(ds.Apps), stats.Render())
+	}
+	for _, rep := range res.Reports {
+		if rep == nil || !rep.Partial {
+			t.Fatal("skipped app without a partial stub report")
+		}
+	}
+}
+
+// TestRobustMidRunCancel: canceling mid-run returns promptly with
+// partial stats — the apps already finished stay counted, the rest are
+// Skipped.
+func TestRobustMidRunCancel(t *testing.T) {
+	ds := robustDataset(t)
+	// Repeat the corpus so the run is long enough that the cancel below
+	// always lands mid-flight.
+	for len(ds.Apps) < 20*synth.MinApps {
+		ds.Apps = append(ds.Apps, ds.Apps[:synth.MinApps]...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, stats, err := EvaluateCorpusRobust(ctx, ds, RunOptions{Workers: 2})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	if got := stats.Checked + stats.Degraded + stats.Failed + stats.Skipped; got != stats.Apps {
+		t.Fatalf("outcome counts don't partition the corpus: %s", stats.Render())
+	}
+	if len(res.Reports) != len(ds.Apps) {
+		t.Fatalf("missing report slots: %d of %d", len(res.Reports), len(ds.Apps))
+	}
+	for _, rep := range res.Reports {
+		if rep == nil {
+			t.Fatal("nil report slot after cancellation")
+		}
+	}
+}
+
+// TestRobustPerAppTimeoutRetries: an unmeetable per-app timeout makes
+// every app fail after its bounded retries, with the attempts counted.
+func TestRobustPerAppTimeoutRetries(t *testing.T) {
+	ds := robustDataset(t)
+	ds.Apps = ds.Apps[:8]
+	opts := RunOptions{
+		Workers:       2,
+		PerAppTimeout: time.Nanosecond,
+		MaxRetries:    1,
+		RetryBackoff:  time.Millisecond,
+	}
+	res, stats, err := EvaluateCorpusRobust(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatalf("parent context not canceled, err = %v", err)
+	}
+	if stats.Failed != len(ds.Apps) {
+		t.Fatalf("want %d failed: %s", len(ds.Apps), stats.Render())
+	}
+	if stats.Retried != len(ds.Apps)*opts.MaxRetries {
+		t.Fatalf("want %d retries: %s", len(ds.Apps)*opts.MaxRetries, stats.Render())
+	}
+	for _, rep := range res.Reports {
+		if rep == nil || !rep.Partial {
+			t.Fatal("failed app without a partial report")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package nlp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ppchecker/internal/nlp"
+	"ppchecker/internal/synth"
+)
+
+// FuzzSentenceSplit: splitting must never panic and must respect the
+// tractability ceilings on any input — including the NLP bomb classes
+// — and GuardText must accept everything the splitter keeps bounded.
+func FuzzSentenceSplit(f *testing.F) {
+	base := "We collect your location. We share it with: partners; advertisers; and analytics providers."
+	f.Add(base)
+	c := synth.NewCorruptor(4)
+	for _, fault := range []synth.Fault{
+		synth.FaultPolicyEnumBomb, synth.FaultPolicyTokenBomb,
+	} {
+		if s, err := c.CorruptPolicy(base, fault); err == nil {
+			f.Add(s)
+		}
+	}
+	f.Add(strings.Repeat("a;\n", 500))
+	f.Add("e.g. i.e. etc. 3.14 v1.")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		_ = nlp.GuardText(text)
+		sents := nlp.SplitSentences(text)
+		if len(sents) > nlp.MaxSentences {
+			t.Fatalf("%d sentences exceed MaxSentences", len(sents))
+		}
+		for _, s := range sents {
+			if len(s) > nlp.MaxSentenceBytes {
+				t.Fatalf("sentence of %d bytes exceeds MaxSentenceBytes", len(s))
+			}
+		}
+	})
+}

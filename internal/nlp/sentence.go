@@ -1,6 +1,62 @@
 package nlp
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
+
+// Tractability guards. Downstream parsing cost grows with sentence
+// length, so adversarial policies (10k-token sentences, enumeration
+// bombs gluing thousands of ";"-terminated fragments into one sentence)
+// must be either rejected up front (GuardText) or truncated to a fixed
+// ceiling (SplitSentences). Legitimate policy sentences are well under
+// one kilobyte.
+const (
+	// MaxSentenceBytes is the per-sentence size ceiling; SplitSentences
+	// truncates beyond it, GuardText rejects.
+	MaxSentenceBytes = 16 * 1024
+	// MaxEnumerationRun is the largest number of fragments the
+	// enumeration repair merges into one sentence.
+	MaxEnumerationRun = 200
+	// MaxSentences caps the number of sentences returned for one text.
+	MaxSentences = 20000
+)
+
+// GuardText is a cheap tractability check run before full NLP analysis:
+// it rejects text whose sentences would exceed the guards above. The
+// error names the pathology so it can be surfaced as a stage failure.
+func GuardText(text string) error {
+	runLen := 0
+	sentStart := 0
+	checkSpan := func(end int) error {
+		if end-sentStart > MaxSentenceBytes {
+			return fmt.Errorf("nlp: sentence of %d bytes exceeds limit of %d", end-sentStart, MaxSentenceBytes)
+		}
+		return nil
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c != '\n' && c != '.' && c != '!' && c != '?' {
+			continue
+		}
+		if err := checkSpan(i); err != nil {
+			return err
+		}
+		// Track enumeration runs: a fragment ending in ';', ',' or ':'
+		// merges into its predecessor, so count consecutive ones.
+		frag := strings.TrimSpace(text[sentStart:i])
+		if strings.HasSuffix(frag, ";") || strings.HasSuffix(frag, ",") || strings.HasSuffix(frag, ":") {
+			runLen++
+			if runLen > MaxEnumerationRun {
+				return fmt.Errorf("nlp: enumeration of more than %d fragments", MaxEnumerationRun)
+			}
+		} else if frag != "" {
+			runLen = 0
+		}
+		sentStart = i + 1
+	}
+	return checkSpan(len(text))
+}
 
 // SplitSentences divides cleaned policy text into sentences and applies
 // the paper's enumeration repair (§III-B Step 1): a sentence whose
@@ -18,7 +74,13 @@ func SplitSentences(text string) []string {
 		if s == "" {
 			continue
 		}
+		if len(s) > MaxSentenceBytes {
+			s = s[:MaxSentenceBytes]
+		}
 		out = append(out, strings.ToLower(s))
+		if len(out) >= MaxSentences {
+			break
+		}
 	}
 	return out
 }
@@ -80,9 +142,12 @@ func isAbbrevBefore(text string, i int) bool {
 
 // mergeEnumerations appends each sentence to its predecessor when the
 // predecessor ends with ';' or ',' or ':' — the enumeration-list repair
-// from the paper.
+// from the paper. Runs longer than MaxEnumerationRun, or merged
+// sentences beyond MaxSentenceBytes, stop absorbing further fragments
+// so enumeration bombs stay bounded.
 func mergeEnumerations(sents []string) []string {
 	var out []string
+	runLen := 0
 	for _, s := range sents {
 		trimmed := strings.TrimSpace(s)
 		if trimmed == "" {
@@ -90,12 +155,15 @@ func mergeEnumerations(sents []string) []string {
 		}
 		if len(out) > 0 {
 			prev := strings.TrimSpace(out[len(out)-1])
-			if strings.HasSuffix(prev, ";") || strings.HasSuffix(prev, ",") || strings.HasSuffix(prev, ":") {
+			if (strings.HasSuffix(prev, ";") || strings.HasSuffix(prev, ",") || strings.HasSuffix(prev, ":")) &&
+				runLen < MaxEnumerationRun && len(prev) < MaxSentenceBytes {
 				out[len(out)-1] = prev + " " + trimmed
+				runLen++
 				continue
 			}
 		}
 		out = append(out, trimmed)
+		runLen = 0
 	}
 	return out
 }

@@ -20,6 +20,13 @@ type Document struct {
 	App     string `json:"app"`
 	Problem bool   `json:"problem"`
 
+	// Partial marks a degraded analysis: the stages in Degraded
+	// failed, so findings may be missing (a false "problem": false
+	// is possible). Consumers should treat a partial document as
+	// inconclusive rather than clean.
+	Partial  bool           `json:"partial,omitempty"`
+	Degraded []DegradedJSON `json:"degraded,omitempty"`
+
 	Incomplete   []IncompleteJSON   `json:"incomplete,omitempty"`
 	Incorrect    []IncorrectJSON    `json:"incorrect,omitempty"`
 	Inconsistent []InconsistentJSON `json:"inconsistent,omitempty"`
@@ -31,6 +38,13 @@ type Document struct {
 	CodeRetains        []string `json:"code_retains,omitempty"`
 	DescriptionImplies []string `json:"description_implies,omitempty"`
 	Libraries          []string `json:"libraries,omitempty"`
+}
+
+// DegradedJSON is one failed pipeline stage on a partial report.
+type DegradedJSON struct {
+	Stage     string `json:"stage"`
+	Error     string `json:"error"`
+	Recovered bool   `json:"recovered,omitempty"`
 }
 
 // IncompleteJSON is one missed-information record.
@@ -62,7 +76,16 @@ type InconsistentJSON struct {
 
 // FromReport converts a core report.
 func FromReport(r *core.Report) *Document {
-	d := &Document{App: r.App, Problem: r.HasProblem()}
+	d := &Document{App: r.App, Problem: r.HasProblem(), Partial: r.Partial}
+	for _, e := range r.Degraded {
+		msg := ""
+		if e.Err != nil {
+			msg = e.Err.Error()
+		}
+		d.Degraded = append(d.Degraded, DegradedJSON{
+			Stage: string(e.Stage), Error: msg, Recovered: e.Recovered,
+		})
+	}
 	for _, f := range r.Incomplete {
 		d.Incomplete = append(d.Incomplete, IncompleteJSON{
 			Via: string(f.Via), Info: string(f.Info),
@@ -121,6 +144,14 @@ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
 li { margin: .3em 0; } code { background: #f2f2f2; padding: 0 .2em; }
 </style></head><body>`)
 	fmt.Fprintf(&b, "<h1>PPChecker report: %s</h1>\n", html.EscapeString(d.App))
+	if d.Partial {
+		var stages []string
+		for _, e := range d.Degraded {
+			stages = append(stages, e.Stage)
+		}
+		fmt.Fprintf(&b, `<p class="bad">PARTIAL analysis: stages %s failed; findings may be missing.</p>`+"\n",
+			html.EscapeString(strings.Join(stages, ", ")))
+	}
 	if !d.Problem {
 		b.WriteString(`<p class="ok">No problems found: the privacy policy is consistent with the app's description, bytecode, and bundled libraries.</p>`)
 	} else {

@@ -6,7 +6,11 @@
 // Bluetooth) used by the taint analysis.
 package sensitive
 
-import "ppchecker/internal/dex"
+import (
+	"fmt"
+
+	"ppchecker/internal/dex"
+)
 
 // Info names the private-information types, matching the ESA concept
 // titles so resource phrases from policies and API findings compare
@@ -41,13 +45,26 @@ type API struct {
 	Permission string // "" when no permission guards the API
 }
 
+// tableErrs collects malformed method-ref literals found while building
+// the package tables. A bad literal no longer panics at init: the entry
+// parses to the zero MethodRef, is dropped from every index, and the
+// problem is reported through TableErrors so callers (and tests) can
+// surface it.
+var tableErrs []error
+
 func ref(s string) dex.MethodRef {
 	r, err := dex.ParseMethodRef(s)
 	if err != nil {
-		panic("sensitive: bad method ref literal: " + s)
+		tableErrs = append(tableErrs, fmt.Errorf("sensitive: bad method ref literal %q: %w", s, err))
+		return dex.MethodRef{}
 	}
 	return r
 }
+
+// TableErrors returns the errors encountered while parsing the built-in
+// API and sink tables. A correct build returns nil; entries listed here
+// were skipped rather than crashing package initialization.
+func TableErrors() []error { return append([]error(nil), tableErrs...) }
 
 // apis is the 68-entry sensitive API table.
 var apis = []API{
@@ -139,17 +156,31 @@ var apis = []API{
 	{ref("Landroid/content/ClipboardManager;->getPrimaryClip()Landroid/content/ClipData;"), InfoContact, ""},
 }
 
-// byRef indexes the API table.
+// byRef indexes the API table, dropping entries whose literal failed to
+// parse (zero Ref).
 var byRef = func() map[dex.MethodRef]API {
 	m := make(map[dex.MethodRef]API, len(apis))
 	for _, a := range apis {
+		if a.Ref == (dex.MethodRef{}) {
+			continue
+		}
 		m[a.Ref] = a
 	}
 	return m
 }()
 
-// APIs returns a copy of the sensitive API table.
-func APIs() []API { return append([]API(nil), apis...) }
+// APIs returns a copy of the sensitive API table (malformed entries
+// excluded; see TableErrors).
+func APIs() []API {
+	out := make([]API, 0, len(apis))
+	for _, a := range apis {
+		if a.Ref == (dex.MethodRef{}) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
 
 // LookupAPI returns the table entry for a method reference.
 func LookupAPI(r dex.MethodRef) (API, bool) {

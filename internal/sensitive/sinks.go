@@ -56,13 +56,26 @@ var sinks = []Sink{
 var sinkByRef = func() map[dex.MethodRef]Sink {
 	m := make(map[dex.MethodRef]Sink, len(sinks))
 	for _, s := range sinks {
+		if s.Ref == (dex.MethodRef{}) {
+			continue
+		}
 		m[s.Ref] = s
 	}
 	return m
 }()
 
-// Sinks returns a copy of the sink table.
-func Sinks() []Sink { return append([]Sink(nil), sinks...) }
+// Sinks returns a copy of the sink table (malformed entries excluded;
+// see TableErrors).
+func Sinks() []Sink {
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s.Ref == (dex.MethodRef{}) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
 
 // LookupSink returns the sink entry for a method reference.
 func LookupSink(r dex.MethodRef) (Sink, bool) {

@@ -6,6 +6,8 @@
 package static
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 
@@ -104,8 +106,39 @@ func DefaultOptions() Options {
 }
 
 // Analyze runs the full static-analysis module over an APK.
-func Analyze(a *apk.APK, opts Options) *Result {
-	p := apg.Build(a, opts.APG)
+func Analyze(a *apk.APK, opts Options) (*Result, error) {
+	return AnalyzeCtx(context.Background(), a, opts)
+}
+
+// AnalyzeCtx runs the full static-analysis module — collection-site
+// scan plus taint analysis — honouring ctx cancellation.
+func AnalyzeCtx(ctx context.Context, a *apk.APK, opts Options) (*Result, error) {
+	res, p, err := Collect(ctx, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	leaks, err := TaintLeaks(ctx, p)
+	if err != nil {
+		return res, err
+	}
+	res.Leaks = leaks
+	return res, nil
+}
+
+// Collect runs the APG build and the collection-site scan — everything
+// except the taint analysis — and returns the APG so the caller can run
+// TaintLeaks as a separately-degradable stage.
+func Collect(ctx context.Context, a *apk.APK, opts Options) (*Result, *apg.APG, error) {
+	if a == nil || a.Dex == nil {
+		return nil, nil, errors.New("static: nil apk or bytecode")
+	}
+	if a.Manifest == nil {
+		return nil, nil, errors.New("static: nil manifest")
+	}
+	p, err := apg.BuildCtx(ctx, a, opts.APG)
+	if err != nil {
+		return nil, nil, err
+	}
 	res := &Result{Packed: a.Packed}
 	reachable := map[dex.MethodRef]bool{}
 	if opts.Reachability {
@@ -135,10 +168,16 @@ func Analyze(a *apk.APK, opts Options) *Result {
 		kept = append(kept, s)
 	}
 	res.Sites = kept
+	return res, p, nil
+}
 
-	tres := taint.Analyze(p)
-	res.Leaks = tres.Leaks
-	return res
+// TaintLeaks runs the taint stage over a previously built APG.
+func TaintLeaks(ctx context.Context, p *apg.APG) ([]taint.Leak, error) {
+	tres, err := taint.AnalyzeCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return tres.Leaks, nil
 }
 
 // permissionSatisfied reports whether any permission guarding info is

@@ -49,7 +49,7 @@ func TestCollectedInfoAttribution(t *testing.T) {
 	a := buildAPK(t, "com.dooing.dooing",
 		[]string{sensitive.PermFineLocation, sensitive.PermPhoneState},
 		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	app := res.CollectedInfo()
 	if len(app) != 1 || app[0] != sensitive.InfoLocation {
 		t.Fatalf("app collected = %v", app)
@@ -65,7 +65,7 @@ func TestPermissionFilter(t *testing.T) {
 	// dropped (§IV-A note).
 	a := buildAPK(t, "com.dooing.dooing", []string{sensitive.PermPhoneState},
 		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	if got := res.CollectedInfo(); len(got) != 0 {
 		t.Fatalf("collected without permission = %v", got)
 	}
@@ -77,7 +77,7 @@ func TestCoarsePermissionSatisfiesLocation(t *testing.T) {
 	// location).
 	a := buildAPK(t, "com.dooing.dooing", []string{sensitive.PermCoarseLocation},
 		locAppAsm, apk.Component{Name: "com.dooing.dooing.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	if got := res.CollectedInfo(); len(got) != 1 || got[0] != sensitive.InfoLocation {
 		t.Fatalf("collected = %v", got)
 	}
@@ -97,7 +97,7 @@ func TestReachabilityFiltersDeadSites(t *testing.T) {
 `
 	a := buildAPK(t, "com.example.app", []string{sensitive.PermFineLocation},
 		asm, apk.Component{Name: "com.example.app.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	if got := res.CollectedInfo(); len(got) != 0 {
 		t.Fatalf("dead site collected = %v", got)
 	}
@@ -105,7 +105,7 @@ func TestReachabilityFiltersDeadSites(t *testing.T) {
 	// imprecision the paper's reachability analysis removes.
 	opts := DefaultOptions()
 	opts.Reachability = false
-	res = Analyze(a, opts)
+	res = mustAnalyze(t, a, opts)
 	if got := res.CollectedInfo(); len(got) != 1 {
 		t.Fatalf("ablation collected = %v", got)
 	}
@@ -124,7 +124,7 @@ func TestURIAnalysisAblation(t *testing.T) {
 `
 	a := buildAPK(t, "com.example.app", []string{sensitive.PermReadContacts},
 		asm, apk.Component{Name: "com.example.app.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	if got := res.CollectedInfo(); len(got) != 1 || got[0] != sensitive.InfoContact {
 		t.Fatalf("collected = %v", got)
 	}
@@ -132,7 +132,7 @@ func TestURIAnalysisAblation(t *testing.T) {
 	// query is invisible.
 	opts := DefaultOptions()
 	opts.URIAnalysis = false
-	res = Analyze(a, opts)
+	res = mustAnalyze(t, a, opts)
 	if got := res.CollectedInfo(); len(got) != 0 {
 		t.Fatalf("API-only collected = %v", got)
 	}
@@ -156,7 +156,7 @@ func TestPackedAppAnalyzed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Analyze(loaded, DefaultOptions())
+	res := mustAnalyze(t, loaded, DefaultOptions())
 	if !res.Packed {
 		t.Fatal("packed flag lost")
 	}
@@ -175,8 +175,17 @@ func TestRetainedInfoFromLeak(t *testing.T) {
 .end method
 .end class
 `, apk.Component{Name: "com.example.retain.Main"})
-	res := Analyze(a, DefaultOptions())
+	res := mustAnalyze(t, a, DefaultOptions())
 	if got := res.RetainedInfo(); len(got) != 1 || got[0] != sensitive.InfoLocation {
 		t.Fatalf("retained = %v", got)
 	}
+}
+
+func mustAnalyze(t *testing.T, a *apk.APK, opts Options) *Result {
+	t.Helper()
+	res, err := Analyze(a, opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
 }

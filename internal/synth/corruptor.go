@@ -1,0 +1,253 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ppchecker/internal/apg"
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/nlp"
+)
+
+// Fault names one fault-injection class. Each class is designed to
+// trip a specific guard in the pipeline, so a corrupted app degrades
+// at a predictable stage instead of crashing the run:
+//
+//	dex faults        → apk.Decode fails        → apk-decode stage
+//	pack-garbage      → packer stub unreadable  → apk-decode stage
+//	dex-call-cycle    → apg size guard          → apg-static stage
+//	policy-bad-utf8   → UTF-8 validation        → html-extract stage
+//	policy-unclosed   → extraction swallows all → html-extract stage
+//	policy-*-bomb     → nlp.GuardText           → policy-nlp stage
+type Fault string
+
+// The fault classes.
+const (
+	// FaultDexTruncated cuts the APK container mid-entry.
+	FaultDexTruncated Fault = "dex-truncated"
+	// FaultDexBitFlip flips a bit in the container magic.
+	FaultDexBitFlip Fault = "dex-bitflip"
+	// FaultPackGarbage repacks the app behind a garbage loader stub.
+	FaultPackGarbage Fault = "pack-garbage"
+	// FaultCallCycle swaps in a structurally valid dex whose call graph
+	// is a tight cycle plus one method over the APG instruction ceiling.
+	FaultCallCycle Fault = "dex-call-cycle"
+	// FaultPolicyBadUTF8 splices invalid UTF-8 bytes into the policy.
+	FaultPolicyBadUTF8 Fault = "policy-bad-utf8"
+	// FaultPolicyUnclosed prepends an unclosed <script> tag that
+	// swallows the whole document during extraction.
+	FaultPolicyUnclosed Fault = "policy-unclosed-tag"
+	// FaultPolicyEnumBomb appends an enumeration of more fragments than
+	// the NLP enumeration repair will merge.
+	FaultPolicyEnumBomb Fault = "policy-enum-bomb"
+	// FaultPolicyTokenBomb appends a single boundary-free sentence
+	// beyond the per-sentence size ceiling.
+	FaultPolicyTokenBomb Fault = "policy-token-bomb"
+)
+
+// AllFaults returns every fault class in a fixed order.
+func AllFaults() []Fault {
+	return []Fault{
+		FaultDexTruncated, FaultDexBitFlip, FaultPackGarbage, FaultCallCycle,
+		FaultPolicyBadUTF8, FaultPolicyUnclosed, FaultPolicyEnumBomb,
+		FaultPolicyTokenBomb,
+	}
+}
+
+// PolicyFault reports whether the fault targets the policy file (vs
+// the APK).
+func (f Fault) PolicyFault() bool {
+	return strings.HasPrefix(string(f), "policy-")
+}
+
+// Corruptor injects faults into app bundles, deterministically for a
+// given seed. It backs the fault-injection tests and generates seeds
+// for the fuzz targets.
+type Corruptor struct {
+	rng *rand.Rand
+}
+
+// NewCorruptor returns a Corruptor with a seeded generator.
+func NewCorruptor(seed int64) *Corruptor {
+	return &Corruptor{rng: rand.New(rand.NewSource(seed))}
+}
+
+// CorruptPolicy applies a policy fault to privacy-policy HTML.
+func (c *Corruptor) CorruptPolicy(html string, f Fault) (string, error) {
+	switch f {
+	case FaultPolicyBadUTF8:
+		pos := c.rng.Intn(len(html) + 1)
+		return html[:pos] + "\xff\xfe\xfd" + html[pos:], nil
+	case FaultPolicyUnclosed:
+		// No matching </script> ever arrives, so extraction drops the
+		// entire document.
+		return "<script>" + html, nil
+	case FaultPolicyEnumBomb:
+		bomb := strings.Repeat("we may collect usage data;\n", nlp.MaxEnumerationRun+50)
+		return html + "<p>" + bomb + "</p>", nil
+	case FaultPolicyTokenBomb:
+		word := "tracking identifier telemetry "
+		bomb := strings.Repeat(word, nlp.MaxSentenceBytes/len(word)+64)
+		return html + "<p>" + bomb + "</p>", nil
+	}
+	return "", fmt.Errorf("synth: %s is not a policy fault", f)
+}
+
+// CorruptAPK applies an APK fault to an encoded SAPK container.
+func (c *Corruptor) CorruptAPK(data []byte, f Fault) ([]byte, error) {
+	switch f {
+	case FaultDexTruncated:
+		if len(data) < 8 {
+			return nil, fmt.Errorf("synth: apk too small to truncate")
+		}
+		// Keep the header so the failure is a mid-entry truncation, not
+		// a trivial magic mismatch.
+		cut := 5 + (len(data)-5)/2
+		return append([]byte(nil), data[:cut]...), nil
+	case FaultDexBitFlip:
+		if len(data) < 4 {
+			return nil, fmt.Errorf("synth: apk too small to corrupt")
+		}
+		out := append([]byte(nil), data...)
+		out[c.rng.Intn(4)] ^= byte(1 << c.rng.Intn(8))
+		return out, nil
+	case FaultPackGarbage:
+		a, err := apk.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("synth: pack-garbage needs a valid apk: %w", err)
+		}
+		a.Packed = true
+		enc, err := apk.Encode(a)
+		if err != nil {
+			return nil, err
+		}
+		idx := bytes.Index(enc, []byte("STUB"))
+		if idx < 0 {
+			return nil, fmt.Errorf("synth: packed apk has no stub")
+		}
+		enc[idx] ^= 0xFF
+		return enc, nil
+	case FaultCallCycle:
+		a, err := apk.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("synth: call-cycle needs a valid apk: %w", err)
+		}
+		a.Dex = BombDex()
+		return apk.Encode(a)
+	}
+	return nil, fmt.Errorf("synth: %s is not an apk fault", f)
+}
+
+// BombDex builds a dex image that passes dex.Verify but trips the APG
+// size guards: two mutually recursive methods form a call cycle, and a
+// third exceeds apg.MaxMethodCode instructions.
+func BombDex() *dex.Dex {
+	cls := &dex.Class{Name: "Lcom/synth/bomb/Bomb;"}
+	ret := dex.Instr{Op: dex.OpReturnVoid, A: -1, B: -1}
+	call := func(name string) dex.Instr {
+		return dex.Instr{Op: dex.OpInvokeStatic, A: -1, B: -1,
+			Method: dex.MethodRef{Class: cls.Name, Name: name, Sig: "()V"}}
+	}
+	spinA := &dex.Method{Name: "spinA", Sig: "()V", Static: true, NumRegs: 1,
+		Code: []dex.Instr{call("spinB"), ret}}
+	spinB := &dex.Method{Name: "spinB", Sig: "()V", Static: true, NumRegs: 1,
+		Code: []dex.Instr{call("spinA"), ret}}
+	huge := &dex.Method{Name: "blowup", Sig: "()V", Static: true, NumRegs: 1}
+	huge.Code = make([]dex.Instr, apg.MaxMethodCode+1)
+	for i := range huge.Code {
+		huge.Code[i] = dex.Instr{Op: dex.OpNop, A: -1, B: -1}
+	}
+	huge.Code[len(huge.Code)-1] = ret
+	cls.AddMethod(spinA)
+	cls.AddMethod(spinB)
+	cls.AddMethod(huge)
+	return &dex.Dex{Classes: []*dex.Class{cls}}
+}
+
+// Bundle file names, duplicated from the bundle package (which imports
+// synth and so cannot be imported from here).
+const (
+	bundlePolicyFile = "policy.html"
+	bundleAPKFile    = "app.apk"
+)
+
+// CorruptBundle applies one fault to an on-disk app bundle directory.
+func (c *Corruptor) CorruptBundle(dir string, f Fault) error {
+	name := bundleAPKFile
+	if f.PolicyFault() {
+		name = bundlePolicyFile
+	}
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	if f.PolicyFault() {
+		s, err := c.CorruptPolicy(string(data), f)
+		if err != nil {
+			return err
+		}
+		out = []byte(s)
+	} else {
+		if out, err = c.CorruptAPK(data, f); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// CorruptCorpus corrupts the given fraction of an on-disk corpus'
+// apps, cycling through every fault class. The victims are chosen by
+// the seeded generator, so a given (corpus, seed) pair always corrupts
+// the same apps the same way. It returns app name → injected fault.
+func (c *Corruptor) CorruptCorpus(dir string, fraction float64) (map[string]Fault, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, "apps"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	n := int(float64(len(names)) * fraction)
+	perm := c.rng.Perm(len(names))
+	faults := AllFaults()
+	out := make(map[string]Fault, n)
+	for i := 0; i < n; i++ {
+		name := names[perm[i]]
+		f := faults[i%len(faults)]
+		if err := c.CorruptBundle(filepath.Join(dir, "apps", name), f); err != nil {
+			return out, err
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// Mangle returns n generic corruptions of data — truncations and
+// single-bit flips at seeded offsets — for seeding fuzz targets.
+func (c *Corruptor) Mangle(data []byte, n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if c.rng.Intn(2) == 0 && len(data) > 0 {
+			out = append(out, append([]byte(nil), data[:c.rng.Intn(len(data))]...))
+			continue
+		}
+		cp := append([]byte(nil), data...)
+		if len(cp) > 0 {
+			cp[c.rng.Intn(len(cp))] ^= byte(1 << c.rng.Intn(8))
+		}
+		out = append(out, cp)
+	}
+	return out
+}

@@ -8,6 +8,8 @@
 package taint
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -134,8 +136,30 @@ type Analyzer struct {
 	leakSeen map[string]bool
 }
 
-// Analyze runs the taint analysis using the given APG.
+// maxWorklistRounds bounds the interprocedural fixpoint; a worklist
+// still wet after this many rounds indicates an adversarial call graph.
+const maxWorklistRounds = 100000
+
+// ErrBudgetExhausted marks an analysis stopped by the round budget
+// before reaching a fixpoint.
+var ErrBudgetExhausted = errors.New("taint: fixpoint budget exhausted")
+
+// Analyze runs the taint analysis using the given APG. It preserves the
+// historical contract of never failing: budget exhaustion silently
+// returns the leaks found so far. Use AnalyzeCtx when cancellation and
+// budget errors must be observable.
 func Analyze(p *apg.APG) *Result {
+	res, _ := AnalyzeCtx(context.Background(), p)
+	return res
+}
+
+// AnalyzeCtx runs the taint analysis, honouring ctx cancellation inside
+// the worklist loop. On cancellation or budget exhaustion it returns
+// the (partial) result found so far together with the error.
+func AnalyzeCtx(ctx context.Context, p *apg.APG) (*Result, error) {
+	if p == nil {
+		return &Result{}, errors.New("taint: nil APG")
+	}
 	a := &Analyzer{
 		p:          p,
 		reachable:  p.ReachableMethods(),
@@ -147,8 +171,8 @@ func Analyze(p *apg.APG) *Result {
 		leakSeen:   map[string]bool{},
 	}
 	a.collectICCTargets()
-	a.run()
-	return &Result{Leaks: a.leaks}
+	err := a.run(ctx)
+	return &Result{Leaks: a.leaks}, err
 }
 
 // collectICCTargets reads the APG's icc edges into a method-level map.
@@ -170,7 +194,7 @@ func (a *Analyzer) collectICCTargets() {
 	}
 }
 
-func (a *Analyzer) run() {
+func (a *Analyzer) run(ctx context.Context) error {
 	// Seed the worklist with every reachable method, in stable order.
 	var work []dex.MethodRef
 	for _, ref := range a.p.Methods() {
@@ -182,7 +206,13 @@ func (a *Analyzer) run() {
 	for _, w := range work {
 		inWork[w] = true
 	}
-	for rounds := 0; len(work) > 0 && rounds < 100000; rounds++ {
+	rounds := 0
+	for ; len(work) > 0 && rounds < maxWorklistRounds; rounds++ {
+		if rounds%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ref := work[0]
 		work = work[1:]
 		inWork[ref] = false
@@ -202,6 +232,11 @@ func (a *Analyzer) run() {
 			}
 		}
 	}
+	if len(work) > 0 {
+		return fmt.Errorf("%w: %d methods still pending after %d rounds",
+			ErrBudgetExhausted, len(work), rounds)
+	}
+	return nil
 }
 
 // regs returns the fact sets of a method, allocating on first use.
@@ -227,6 +262,12 @@ func (a *Analyzer) regs(ref dex.MethodRef, numRegs int) []factSet {
 func (a *Analyzer) processMethod(ref dex.MethodRef) (changedCallees []dex.MethodRef, changedRet bool) {
 	m := a.p.APK.Dex.Lookup(ref)
 	if m == nil {
+		return nil, false
+	}
+	if len(m.Code) > apg.MaxMethodCode {
+		// Defense in depth: the builder rejects such methods, but an APG
+		// assembled by other means must not trigger the O(n²) local
+		// fixpoint below.
 		return nil, false
 	}
 	rs := a.regs(ref, m.NumRegs+1)

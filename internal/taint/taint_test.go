@@ -25,7 +25,16 @@ func buildAPK(t *testing.T, pkg, asm string, components ...apk.Component) *apk.A
 
 func analyze(t *testing.T, a *apk.APK) *Result {
 	t.Helper()
-	return Analyze(apg.Build(a, apg.DefaultOptions()))
+	return Analyze(mustAPG(t, a, apg.DefaultOptions()))
+}
+
+func mustAPG(t *testing.T, a *apk.APK, opts apg.Options) *apg.APG {
+	t.Helper()
+	p, err := apg.Build(a, opts)
+	if err != nil {
+		t.Fatalf("apg.Build: %v", err)
+	}
+	return p
 }
 
 // TestDirectLeak mirrors Fig. 9 of the paper: getInstalledPackages →
@@ -331,7 +340,7 @@ func TestICCIntentExtraLeak(t *testing.T) {
 	m.Application.Services = []apk.Component{{Name: "com.example.icc.Uploader"}}
 	a := apk.New(m, d)
 
-	res := Analyze(apg.Build(a, apg.DefaultOptions()))
+	res := Analyze(mustAPG(t, a, apg.DefaultOptions()))
 	found := false
 	for _, l := range res.Leaks {
 		if l.Info == sensitive.InfoDeviceID && l.Method.Class == "Lcom/example/icc/Uploader;" {
@@ -353,7 +362,7 @@ func TestICCIntentExtraLeak(t *testing.T) {
 	}
 
 	// Without ICC edges the flow is invisible (the IccTA ablation).
-	res = Analyze(apg.Build(a, apg.Options{EdgeMiner: true, ICC: false}))
+	res = Analyze(mustAPG(t, a, apg.Options{EdgeMiner: true, ICC: false}))
 	for _, l := range res.Leaks {
 		if l.Method.Class == "Lcom/example/icc/Uploader;" {
 			t.Fatalf("leak found without ICC edges: %+v", l)

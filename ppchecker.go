@@ -24,6 +24,7 @@
 package ppchecker
 
 import (
+	"context"
 	"io"
 
 	"ppchecker/internal/apk"
@@ -65,6 +66,11 @@ type (
 	IncorrectFinding = core.IncorrectFinding
 	// InconsistencyFinding is an app-policy/lib-policy conflict.
 	InconsistencyFinding = core.InconsistencyFinding
+	// Stage names one phase of the checking pipeline.
+	Stage = core.Stage
+	// StageError is a typed pipeline-stage failure recorded on a
+	// Partial report.
+	StageError = core.StageError
 )
 
 // Evidence streams.
@@ -129,6 +135,14 @@ func WithConstraintAnalysis() CheckerOption { return core.WithConstraintAnalysis
 // Check runs a default checker over one app.
 func Check(app *App) *Report { return NewChecker().Check(app) }
 
+// CheckSafe runs a default checker over one app with per-stage panic
+// isolation, graceful degradation, and ctx cancellation. The error is
+// non-nil only for cancellation; stage failures are recorded on the
+// (Partial) report itself.
+func CheckSafe(ctx context.Context, app *App) (*Report, error) {
+	return NewChecker().CheckSafe(ctx, app)
+}
+
 // AnalyzePolicy runs only the privacy-policy analysis module over an
 // HTML (or plain-text) policy document.
 func AnalyzePolicy(html string) *PolicyAnalysis {
@@ -149,7 +163,9 @@ func UnjustifiedPermissions(requested []string, description string) []string {
 }
 
 // AnalyzeAPK runs only the static-analysis module over an app package.
-func AnalyzeAPK(a *APK) *StaticResult {
+// It fails on malformed packages (nil bytecode, oversized methods)
+// instead of panicking.
+func AnalyzeAPK(a *APK) (*StaticResult, error) {
 	return static.Analyze(a, static.DefaultOptions())
 }
 
@@ -171,8 +187,8 @@ func DetectLibraries(d *Dex) []Library { return libdetect.Detect(d) }
 // generated policy declares the behaviours the static analysis proves
 // (plus description-implied information when description != ""), so
 // checking the app against its own generated policy yields no
-// findings.
-func GeneratePolicy(a *APK, description string) string {
+// findings. It fails when the static analysis cannot process the APK.
+func GeneratePolicy(a *APK, description string) (string, error) {
 	opts := autoppg.DefaultOptions()
 	opts.Description = description
 	return autoppg.Generate(a, opts)

@@ -125,7 +125,10 @@ func TestPublicGeneratePolicy(t *testing.T) {
 		},
 		Dex: dex,
 	}
-	policy := GeneratePolicy(apk, "")
+	policy, err := GeneratePolicy(apk, "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(policy, "location") {
 		t.Fatalf("generated policy misses location:\n%s", policy)
 	}
@@ -197,7 +200,10 @@ func TestPublicAnalyzeAPK(t *testing.T) {
 		},
 		Dex: dex,
 	}
-	res := AnalyzeAPK(apk)
+	res, err := AnalyzeAPK(apk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.CollectedInfo()) != 1 || len(res.RetainedInfo()) != 1 {
 		t.Fatalf("static = collected %v retained %v", res.CollectedInfo(), res.RetainedInfo())
 	}
