@@ -11,6 +11,7 @@ package ppchecker
 // reproduction record.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"ppchecker/internal/esa"
 	"ppchecker/internal/eval"
 	"ppchecker/internal/nlp"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/static"
 	"ppchecker/internal/synth"
@@ -236,6 +238,39 @@ func BenchmarkCheckSingleApp(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		checker.Check(app)
+	}
+}
+
+// BenchmarkCheckSafeSingleApp measures the recovering pipeline without
+// an observer: the baseline the observability overhead is judged
+// against.
+func BenchmarkCheckSafeSingleApp(b *testing.B) {
+	ds := paperCorpus(b)
+	app := ds.Apps[0].App
+	checker := core.NewChecker()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.CheckSafe(ctx, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckSafeObserved is the same pipeline with a metrics-only
+// observer attached (no trace sink): the per-span cost is a handful of
+// atomic adds, so this should stay within a few percent of
+// BenchmarkCheckSafeSingleApp.
+func BenchmarkCheckSafeObserved(b *testing.B) {
+	ds := paperCorpus(b)
+	app := ds.Apps[0].App
+	checker := core.NewChecker(core.WithObserver(obs.New()))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.CheckSafe(ctx, app); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

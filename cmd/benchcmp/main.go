@@ -1,0 +1,102 @@
+// Command benchcmp captures `go test -bench` output as JSON and gates
+// a run against a stored baseline:
+//
+//	go test -bench . | benchcmp -capture BENCH_abc123.json
+//	benchcmp -baseline testdata/bench_baseline.json -current BENCH_abc123.json
+//	go test -bench . | benchcmp -capture out.json -baseline testdata/bench_baseline.json
+//
+// Cost metrics (ns/op, B/op, allocs/op) fail one-sided when the
+// current run is more than -tolerance worse than baseline; custom
+// metrics (experiment outcomes reported via b.ReportMetric) fail
+// two-sided on any drift beyond the tolerance. Exits 1 when any
+// metric regresses, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ppchecker/internal/benchcmp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	var (
+		capture   = flag.String("capture", "", "write the parsed run to this JSON file")
+		baseline  = flag.String("baseline", "", "compare against this stored baseline JSON")
+		current   = flag.String("current", "", "load the current run from this JSON file instead of parsing stdin")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative drift before a metric fails")
+	)
+	flag.Parse()
+	if *baseline == "" && *capture == "" {
+		flag.Usage()
+		return 2
+	}
+
+	var (
+		cur *benchcmp.Suite
+		err error
+	)
+	if *current != "" {
+		cur, err = readSuite(*current)
+	} else {
+		cur, err = benchcmp.Parse(io.TeeReader(os.Stdin, os.Stderr))
+	}
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if len(cur.Results) == 0 {
+		log.Print("no benchmark results in input")
+		return 2
+	}
+	if *capture != "" {
+		f, err := os.Create(*capture)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		if err := cur.WriteJSON(f); err != nil {
+			log.Print(err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			log.Print(err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: captured %d benchmarks to %s\n", len(cur.Results), *capture)
+	}
+	if *baseline == "" {
+		return 0
+	}
+	base, err := readSuite(*baseline)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	deltas := benchcmp.Compare(base, cur, *tolerance)
+	fmt.Print(benchcmp.Render(deltas))
+	if regs := benchcmp.Regressions(deltas); len(regs) > 0 {
+		fmt.Printf("%d metric(s) regressed beyond ±%.0f%%\n", len(regs), 100**tolerance)
+		return 1
+	}
+	fmt.Println("no regressions")
+	return 0
+}
+
+func readSuite(path string) (*benchcmp.Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchcmp.ReadJSON(f)
+}

@@ -4,6 +4,12 @@
 //	ppbench -all
 //	ppbench -fig12 -table4
 //	ppbench -apps 600 -seed 7 -summary
+//	ppbench -summary -metrics -trace trace.jsonl -pprof localhost:6060
+//
+// -metrics instruments the corpus run and prints the per-stage
+// exposition (runs, errors, p50/p95/max latency, cache hit rate) after
+// the tables; -trace additionally records every span as JSON Lines;
+// -pprof serves net/http/pprof for profiling the run.
 package main
 
 import (
@@ -12,9 +18,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
+	"ppchecker/internal/core"
 	"ppchecker/internal/eval"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/synth"
 )
 
@@ -33,8 +42,36 @@ func main() {
 		summary = flag.Bool("summary", false, "corpus summary (§V-F)")
 		apps    = flag.Int("apps", synth.PaperNumApps, "corpus size")
 		seed    = flag.Int64("seed", synth.DefaultConfig().Seed, "corpus seed")
+		metrics = flag.Bool("metrics", false, "instrument the corpus run and print per-stage metrics")
+		trace   = flag.String("trace", "", "write a JSONL span trace of the corpus run to this file (implies -metrics)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		addr, err := obs.ServePprof(*pprof)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		fmt.Printf("pprof: serving on http://%s/debug/pprof\n", addr)
+	}
+	var observer *obs.Observer
+	if *metrics || *trace != "" {
+		var opts []obs.Option
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sink := obs.NewJSONLSink(f)
+			defer func() {
+				if err := sink.Close(); err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+			}()
+			opts = append(opts, obs.WithSink(sink))
+		}
+		observer = obs.New(opts...)
+	}
 	if *all {
 		*fig12, *table3, *fig13, *table4, *recall, *sweep, *summary = true, true, true, true, true, true, true
 	}
@@ -71,13 +108,38 @@ func main() {
 		}
 		genTime := time.Since(start)
 		start = time.Now()
-		res, stats, err := eval.EvaluateCorpusRobust(context.Background(), ds, eval.DefaultRunOptions())
+		runOpts := eval.DefaultRunOptions()
+		runOpts.Observer = observer
+		res, stats, err := eval.EvaluateCorpusRobust(context.Background(), ds, runOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		wall := time.Since(start)
 		fmt.Printf("corpus: %d apps generated in %v, analyzed in %v\n",
-			*apps, genTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+			*apps, genTime.Round(time.Millisecond), wall.Round(time.Millisecond))
 		fmt.Printf("%s\n\n", stats.Render())
+		if stats.Metrics != nil {
+			fmt.Println("Per-stage metrics:")
+			fmt.Print(stats.Metrics.Render())
+			// Consistency line: the pipeline stages partition each app's
+			// corpus-run span, which in turn fills the worker pool's share
+			// of the wall clock.
+			var pipeline, appRuns time.Duration
+			for _, st := range stats.Metrics.Stages {
+				switch st.Stage {
+				case string(core.StageRun):
+					appRuns = st.Total
+				case core.SpanDetectIncomplete, core.SpanDetectIncorrect, core.SpanDetectInconsistent:
+					// nested inside the detectors stage; skip to avoid
+					// double counting
+				default:
+					pipeline += st.Total
+				}
+			}
+			fmt.Printf("pipeline stages sum to %v of %v per-app run time; wall clock %v on %d workers\n\n",
+				pipeline.Round(time.Millisecond), appRuns.Round(time.Millisecond),
+				wall.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+		}
 		if *table3 {
 			fmt.Println(eval.RenderTableIII(res.TableIII()))
 		}

@@ -18,6 +18,12 @@
 //	2  usage error
 //	3  analysis degraded (some stage failed or timed out); takes
 //	   precedence over 1 because the findings may be incomplete
+//
+// Observability: -metrics prints the per-stage metrics table after the
+// report, -trace records every pipeline span as JSON Lines, and
+// -pprof serves net/http/pprof while the analysis runs. Stage timings
+// are always recorded on the report itself (JSON `timings` section and
+// the HTML timing table).
 package main
 
 import (
@@ -30,10 +36,18 @@ import (
 	"ppchecker"
 	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/report"
 )
 
 func main() {
+	// The trace sink (and any other deferred cleanup) must flush before
+	// the process exits, so the exit code is computed inside run and
+	// os.Exit is only called after run's defers have finished.
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("ppchecker: ")
 	var (
@@ -43,11 +57,39 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		htmlPath = flag.String("html", "", "also write an HTML report to this file")
 		timeout  = flag.Duration("timeout", 0, "bound the analysis (0 = no limit)")
+		metrics  = flag.Bool("metrics", false, "print per-stage metrics after the report")
+		trace    = flag.String("trace", "", "write a JSONL span trace to this file (implies -metrics)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address")
 	)
 	flag.Parse()
 	if *appDir == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *pprof != "" {
+		addr, err := obs.ServePprof(*pprof)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof\n", addr)
+	}
+	var observer *ppchecker.Observer
+	if *metrics || *trace != "" {
+		var sink ppchecker.ObserverSink
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jsink := ppchecker.NewJSONLTraceSink(f)
+			defer func() {
+				if err := jsink.Close(); err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+			}()
+			sink = jsink
+		}
+		observer = ppchecker.NewObserver(sink)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -56,7 +98,7 @@ func main() {
 		defer cancel()
 	}
 	app, ferrs := bundle.ReadAppLenient(*appDir, *libsDir)
-	rep, err := ppchecker.CheckSafe(ctx, app)
+	rep, err := ppchecker.NewChecker(ppchecker.WithObserver(observer)).CheckSafe(ctx, app)
 	if rep == nil {
 		log.Fatal(err)
 	}
@@ -77,6 +119,10 @@ func main() {
 			printDetails(rep)
 		}
 	}
+	if *metrics {
+		fmt.Println("--- per-stage metrics ---")
+		fmt.Print(observer.Snapshot().Render())
+	}
 	if *htmlPath != "" {
 		f, err := os.Create(*htmlPath)
 		if err != nil {
@@ -91,10 +137,11 @@ func main() {
 	}
 	switch {
 	case rep.Partial:
-		os.Exit(3)
+		return 3
 	case rep.HasProblem():
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func printDetails(r *ppchecker.Report) {

@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"ppchecker/internal/bundle"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/synth"
 )
 
@@ -25,11 +27,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ppgen: ")
 	var (
-		out  = flag.String("out", "corpus", "output directory")
-		n    = flag.Int("apps", synth.PaperNumApps, "number of apps to generate")
-		seed = flag.Int64("seed", synth.DefaultConfig().Seed, "generation seed")
+		out   = flag.String("out", "corpus", "output directory")
+		n     = flag.Int("apps", synth.PaperNumApps, "number of apps to generate")
+		seed  = flag.Int64("seed", synth.DefaultConfig().Seed, "generation seed")
+		pprof = flag.String("pprof", "", "serve net/http/pprof on this address while generating")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		addr, err := obs.ServePprof(*pprof)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		fmt.Printf("pprof: serving on http://%s/debug/pprof\n", addr)
+	}
+	start := time.Now()
 
 	ds, err := synth.Generate(synth.Config{Seed: *seed, NumApps: *n})
 	if err != nil {
@@ -38,6 +49,6 @@ func main() {
 	if err := bundle.WriteDataset(ds, *out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d apps and %d library policies to %s\n",
-		len(ds.Apps), len(ds.LibPolicies), *out)
+	fmt.Printf("wrote %d apps and %d library policies to %s in %v\n",
+		len(ds.Apps), len(ds.LibPolicies), *out, time.Since(start).Round(time.Millisecond))
 }

@@ -12,6 +12,7 @@ import (
 	"ppchecker/internal/apk"
 	"ppchecker/internal/desc"
 	"ppchecker/internal/esa"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/patterns"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/static"
@@ -49,6 +50,11 @@ type Checker struct {
 	// library policies recur across the whole corpus. A Checker is not
 	// safe for concurrent use.
 	libCache map[string]*policy.Analysis
+
+	// obs receives spans and counters for every pipeline stage and
+	// detector. A nil observer records nothing; many checkers (one per
+	// corpus worker) may share one observer.
+	obs *obs.Observer
 }
 
 // CheckerOption configures a Checker.
@@ -74,6 +80,14 @@ func WithStaticOptions(o static.Options) CheckerOption {
 // on); the ablation bench turns it off.
 func WithDisclaimerHandling(on bool) CheckerOption {
 	return func(c *Checker) { c.disclaimers = on }
+}
+
+// WithObserver attaches an observability sink: every pipeline stage
+// and detector reports a span to it, and the library-policy cache
+// reports hits and misses. The observer must be safe for concurrent
+// use (obs.Observer is); a nil observer disables instrumentation.
+func WithObserver(o *obs.Observer) CheckerOption {
+	return func(c *Checker) { c.obs = o }
 }
 
 // WithSynonymExpansion enables the §VI extension that adds synonym

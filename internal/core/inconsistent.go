@@ -29,7 +29,10 @@ func (c *Checker) detectInconsistent(app *App, r *Report) {
 			continue // no English policy for this lib, as in §V-A
 		}
 		libAnalysis, cached := c.libCache[policyText]
-		if !cached {
+		if cached {
+			c.obs.CacheHit()
+		} else {
+			c.obs.CacheMiss()
 			libAnalysis = c.policyAnalyzer.AnalyzeHTML(policyText)
 			c.libCache[policyText] = libAnalysis
 		}

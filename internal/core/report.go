@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"ppchecker/internal/desc"
 	"ppchecker/internal/libdetect"
@@ -80,6 +81,39 @@ type Report struct {
 	Partial bool
 	// Degraded lists the stage failures behind a Partial report.
 	Degraded []*StageError `json:",omitempty"`
+
+	// Timings records how long each executed pipeline stage took, in
+	// execution order. Always populated (no observer required); skipped
+	// stages (cancellation, missing inputs) have no entry.
+	Timings []StageTiming `json:",omitempty"`
+}
+
+// StageTiming is the measured duration of one executed pipeline stage.
+type StageTiming struct {
+	Stage    Stage
+	Duration time.Duration
+}
+
+// StageDuration returns the recorded duration for a stage and whether
+// the stage ran.
+func (r *Report) StageDuration(s Stage) (time.Duration, bool) {
+	for _, t := range r.Timings {
+		if t.Stage == s {
+			return t.Duration, true
+		}
+	}
+	return 0, false
+}
+
+// TotalDuration sums the recorded stage durations — the analysis time
+// spent on this app (excluding bundle I/O, which happens outside the
+// pipeline).
+func (r *Report) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, t := range r.Timings {
+		d += t.Duration
+	}
+	return d
 }
 
 // AddDegraded records a stage failure and marks the report partial.

@@ -105,12 +105,13 @@ func (c *Checker) CheckSafe(ctx context.Context, app *App) (*Report, error) {
 	// Detectors. When the policy analysis itself failed, the policy
 	// detectors would report every collected info as unmentioned —
 	// noise, not findings — so they are suppressed and the degradation
-	// already recorded for the policy stage stands.
+	// already recorded for the policy stage stands. Each detector gets
+	// its own sub-span under the detectors stage.
 	if policyOK {
 		c.stage(ctx, r, StageDetect, func() error {
-			c.detectIncomplete(app, r)
-			c.detectIncorrect(app, r)
-			c.detectInconsistent(app, r)
+			c.detectorSpan(r, SpanDetectIncomplete, func() { c.detectIncomplete(app, r) })
+			c.detectorSpan(r, SpanDetectIncorrect, func() { c.detectIncorrect(app, r) })
+			c.detectorSpan(r, SpanDetectInconsistent, func() { c.detectInconsistent(app, r) })
 			return nil
 		})
 	}
@@ -123,18 +124,32 @@ func (c *Checker) CheckSafe(ctx context.Context, app *App) (*Report, error) {
 
 // stage runs one pipeline stage behind panic recovery and a
 // cancellation check, recording any failure on the report. It reports
-// whether the stage completed successfully.
+// whether the stage completed successfully. Every executed stage is
+// timed: the duration lands on Report.Timings and, when an observer is
+// attached, in its per-stage metrics and trace sink.
 func (c *Checker) stage(ctx context.Context, r *Report, s Stage, fn func() error) bool {
 	if err := ctx.Err(); err != nil {
 		r.AddDegraded(&StageError{Stage: s, App: r.App, Err: err})
 		return false
 	}
+	sp := c.obs.Start(string(s), r.App, "")
 	err, recovered := runRecovered(fn)
+	d := sp.End(err, recovered)
+	r.Timings = append(r.Timings, StageTiming{Stage: s, Duration: d})
 	if err != nil {
 		r.AddDegraded(&StageError{Stage: s, App: r.App, Err: err, Recovered: recovered})
 		return false
 	}
 	return true
+}
+
+// detectorSpan times one detector as a sub-span of the detectors
+// stage. Detectors run inside the stage's panic recovery, so the span
+// itself adds no error handling.
+func (c *Checker) detectorSpan(r *Report, name string, fn func()) {
+	sp := c.obs.Start(name, r.App, string(StageDetect))
+	fn()
+	sp.End(nil, false)
 }
 
 // runRecovered invokes fn, converting a panic into an error. Note that

@@ -43,6 +43,15 @@ const (
 	StageRun Stage = "corpus-run"
 )
 
+// Detector sub-span names. The three detectors run inside StageDetect;
+// each reports its own span (parented on the stage) to the observer so
+// per-detector latency is visible separately from the stage total.
+const (
+	SpanDetectIncomplete   = "detect-incomplete"
+	SpanDetectIncorrect    = "detect-incorrect"
+	SpanDetectInconsistent = "detect-inconsistent"
+)
+
 // StageError is a typed pipeline failure: which stage failed, for which
 // app, and whether the error was recovered from a panic.
 type StageError struct {

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/synth"
+)
+
+// conformanceTol is the pinned absolute tolerance for comparing the
+// measured precision/recall against the paper's published figures.
+// The synthetic corpus reproduces the paper's confusion matrices
+// exactly, so the slack only absorbs rounding in the published
+// percentages, not detector drift.
+const conformanceTol = 0.015
+
+// TestPaperConformance checks precision and recall for each of the
+// three problem types individually (incomplete split by evidence
+// stream, inconsistent split by sentence group as in Table IV)
+// against the paper's figures:
+//
+//   - incomplete via description: every Table III detection was
+//     verified (precision 1.0)
+//   - incomplete via code: 180 of 195 detections verified (§V-C,
+//     precision 92.3%)
+//   - incorrect: 4 of 6 detections verified (§V-D)
+//   - inconsistent CUR: TP 41 / FP 5 / FN 4 (Table IV, precision
+//     89.1%, recall 91.1%)
+//   - inconsistent disclose: TP 39 / FP 4 / FN 3 (Table IV, precision
+//     90.7%, recall 92.9%)
+//
+// A detector perturbation that shifts any matrix shows up here as a
+// precision/recall excursion beyond the pinned tolerance.
+func TestPaperConformance(t *testing.T) {
+	res := paperCorpus(t)
+	tab := res.ComputeTableIV()
+
+	cases := []struct {
+		name              string
+		m                 Confusion
+		precision, recall float64
+	}{
+		{"incomplete-description", confusion(res,
+			func(r *core.Report) bool { return len(r.IncompleteVia(core.ViaDescription)) > 0 },
+			func(g *synth.GroundTruth) bool { return g.IncompleteDesc },
+		), 1.0, 1.0},
+		{"incomplete-code", confusion(res,
+			func(r *core.Report) bool { return len(r.IncompleteVia(core.ViaCode)) > 0 },
+			func(g *synth.GroundTruth) bool { return g.IncompleteCode },
+		), 180.0 / 195.0, 1.0},
+		{"incorrect", confusion(res,
+			func(r *core.Report) bool { return len(r.Incorrect) > 0 },
+			func(g *synth.GroundTruth) bool { return g.Incorrect },
+		), 4.0 / 6.0, 1.0},
+		{"inconsistent-cur", tab.CUR, 41.0 / 46.0, 41.0 / 45.0},
+		{"inconsistent-disclose", tab.Disclose, 39.0 / 43.0, 39.0 / 42.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, r := tc.m.Precision(), tc.m.Recall()
+			t.Logf("TP %d FP %d FN %d — precision %.3f (paper %.3f), recall %.3f (paper %.3f)",
+				tc.m.TP, tc.m.FP, tc.m.FN, p, tc.precision, r, tc.recall)
+			if math.Abs(p-tc.precision) > conformanceTol {
+				t.Errorf("precision = %.3f, paper reports %.3f (tolerance %.3f)",
+					p, tc.precision, conformanceTol)
+			}
+			if math.Abs(r-tc.recall) > conformanceTol {
+				t.Errorf("recall = %.3f, paper reports %.3f (tolerance %.3f)",
+					r, tc.recall, conformanceTol)
+			}
+		})
+	}
+}
+
+// confusion builds the per-app confusion matrix for one problem type
+// from a detection predicate over reports and a label predicate over
+// the ground truth.
+func confusion(res *CorpusResult, detected func(*core.Report) bool, actual func(*synth.GroundTruth) bool) Confusion {
+	var m Confusion
+	for i, rep := range res.Reports {
+		d, a := detected(rep), actual(&res.Truths[i])
+		switch {
+		case d && a:
+			m.TP++
+		case d && !a:
+			m.FP++
+		case !d && a:
+			m.FN++
+		}
+	}
+	return m
+}

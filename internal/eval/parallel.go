@@ -4,7 +4,6 @@ import (
 	"context"
 	"runtime"
 
-	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
 	"ppchecker/internal/synth"
 )
@@ -33,29 +32,17 @@ func EvaluateCorpusParallel(ds *synth.Dataset, workers int, opts ...core.Checker
 // EvaluateCorpusDir evaluates a corpus previously written to disk by
 // cmd/ppgen (or bundle.WriteDataset): app bundles are loaded, checked,
 // and paired with the stored ground truth.
+//
+// It runs on the robust engine with lenient bundle reads: one corrupt
+// or unreadable bundle degrades its own report (StageRead/StageDecode)
+// instead of aborting the whole directory run, and a missing
+// truth.json yields empty ground truth. Apps are checked serially on
+// one checker so results are deterministic; use EvaluateCorpusDirRobust
+// directly for a parallel or cancellable run.
 func EvaluateCorpusDir(dir string, opts ...core.CheckerOption) (*CorpusResult, error) {
-	truths, err := bundle.ReadTruth(dir)
-	if err != nil {
-		return nil, err
-	}
-	truthByPkg := make(map[string]synth.GroundTruth, len(truths))
-	for _, t := range truths {
-		truthByPkg[t.Pkg] = t.Truth
-	}
-	appDirs, err := bundle.ListApps(dir)
-	if err != nil {
-		return nil, err
-	}
-	checker := core.NewChecker(opts...)
-	res := &CorpusResult{}
-	libsDir := dir + "/libs"
-	for _, appDir := range appDirs {
-		app, err := bundle.ReadApp(appDir, libsDir)
-		if err != nil {
-			return nil, err
-		}
-		res.Reports = append(res.Reports, checker.Check(app))
-		res.Truths = append(res.Truths, truthByPkg[app.Name])
-	}
-	return res, nil
+	res, _, err := EvaluateCorpusDirRobust(context.Background(), dir, RunOptions{
+		Workers:        1,
+		CheckerOptions: opts,
+	})
+	return res, err
 }

@@ -10,6 +10,7 @@ import (
 
 	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/synth"
 )
@@ -34,6 +35,11 @@ type RunStats struct {
 	// Skipped counts apps abandoned because the run context was
 	// canceled (either before they started or mid-analysis).
 	Skipped int
+
+	// Metrics is the per-stage latency and failure breakdown of the
+	// run, captured from RunOptions.Observer at run end. Nil when the
+	// run was not instrumented.
+	Metrics *obs.Snapshot
 }
 
 // Render prints the run statistics on one line, suitable for showing
@@ -56,6 +62,11 @@ type RunOptions struct {
 	RetryBackoff time.Duration
 	// CheckerOptions configure the per-worker checkers.
 	CheckerOptions []core.CheckerOption
+	// Observer, when non-nil, instruments the run: every worker's
+	// checker reports stage spans to it, each app gets a corpus-run
+	// span covering its whole analysis (retries included), and the
+	// final per-stage snapshot lands in RunStats.Metrics.
+	Observer *obs.Observer
 }
 
 // DefaultRunOptions returns the runner defaults: GOMAXPROCS workers,
@@ -171,14 +182,21 @@ func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResu
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
+	checkerOpts := opts.CheckerOptions
+	if opts.Observer != nil {
+		checkerOpts = append(append([]core.CheckerOption{}, checkerOpts...),
+			core.WithObserver(opts.Observer))
+	}
 	idxCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			checker := core.NewChecker(opts.CheckerOptions...)
+			checker := core.NewChecker(checkerOpts...)
 			for i := range idxCh {
+				sp := opts.Observer.Start(string(core.StageRun), jobs[i].name, "")
 				rep, outcome, retries := checkOne(ctx, checker, jobs[i], opts)
+				sp.End(runError(rep, outcome), false)
 				res.Reports[i] = rep
 				mu.Lock()
 				stats.Retried += retries
@@ -212,7 +230,24 @@ feed:
 			stats.Skipped++
 		}
 	}
+	stats.Metrics = opts.Observer.Snapshot()
 	return res, stats, ctx.Err()
+}
+
+// runError maps a per-app outcome to the error recorded on its
+// corpus-run span: hard failures and skips carry the stub's StageRun
+// error, clean and degraded runs count as successes (degradation is
+// already visible on the individual stage spans).
+func runError(rep *core.Report, outcome int) error {
+	if outcome != outcomeFailed && outcome != outcomeSkipped {
+		return nil
+	}
+	for _, e := range rep.Degraded {
+		if e.Stage == core.StageRun {
+			return e
+		}
+	}
+	return context.Canceled
 }
 
 // checkOne analyzes one app with bounded retries. Hard failures (a

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanNil is the un-instrumented cost: a span on a nil
+// Observer is one clock read at Start and one at End.
+func BenchmarkSpanNil(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.Start("stage", "app", "")
+		sp.End(nil, false)
+	}
+}
+
+// BenchmarkSpanMetrics is the metrics-only cost (no sink): atomics and
+// a histogram bucket add, no allocation.
+func BenchmarkSpanMetrics(b *testing.B) {
+	o := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := o.Start("stage", "app", "")
+		sp.End(nil, false)
+	}
+}
+
+// BenchmarkSpanJSONL adds the trace sink: one JSON marshal per span.
+func BenchmarkSpanJSONL(b *testing.B) {
+	o := New(WithSink(NewJSONLSink(io.Discard)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := o.Start("stage", "app", "")
+		sp.End(nil, false)
+	}
+}
+
+// BenchmarkSpanMetricsParallel measures contention across workers
+// sharing one Observer, the corpus-runner shape.
+func BenchmarkSpanMetricsParallel(b *testing.B) {
+	o := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := o.Start("stage", "app", "")
+			sp.End(nil, false)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package obs is the pipeline's observability layer: lightweight spans
+// around every stage and detector, lock-free per-stage metrics
+// (run/error/panic counters plus a log-bucketed latency histogram), and
+// an optional trace sink that records every span as JSON Lines.
+//
+// The package is built to sit inside the parallel corpus runner:
+//
+//   - A nil *Observer is fully usable — every method no-ops — so the
+//     un-instrumented path costs one monotonic clock read per span and
+//     nothing else (benchmarked in bench_test.go).
+//   - All counters are atomics and the stage registry is a sync.Map,
+//     so any number of worker goroutines may share one Observer.
+//   - Sinks serialize behind their own mutex; the hot path never
+//     allocates unless a sink is attached.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer collects metrics for one run. Construct with New; the nil
+// Observer is valid and records nothing.
+type Observer struct {
+	stages  sync.Map // string -> *stageMetrics
+	nextSeq atomic.Int64
+	sink    Sink
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// Option configures an Observer.
+type Option func(*Observer)
+
+// WithSink attaches a trace sink; every ended span is emitted to it.
+func WithSink(s Sink) Option {
+	return func(o *Observer) { o.sink = s }
+}
+
+// New builds an Observer.
+func New(opts ...Option) *Observer {
+	o := &Observer{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// histBuckets is the number of log2 latency buckets. Bucket i holds
+// durations whose microsecond count has bit-length i, i.e. [2^(i-1),
+// 2^i) µs; 48 buckets cover far beyond any real stage latency.
+const histBuckets = 48
+
+// stageMetrics is the per-stage accumulator. All fields are atomics so
+// concurrent workers can record without locks.
+type stageMetrics struct {
+	seq     int64 // registration order, for stable snapshot ordering
+	runs    atomic.Int64
+	errors  atomic.Int64
+	panics  atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its histogram bucket.
+func bucketFor(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket i, used when
+// reading quantiles back out of the histogram.
+func bucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// stage returns the metrics cell for name, registering it on first use.
+func (o *Observer) stage(name string) *stageMetrics {
+	if m, ok := o.stages.Load(name); ok {
+		return m.(*stageMetrics)
+	}
+	m := &stageMetrics{seq: o.nextSeq.Add(1)}
+	if prev, loaded := o.stages.LoadOrStore(name, m); loaded {
+		return prev.(*stageMetrics)
+	}
+	return m
+}
+
+// record folds one finished span into the stage's metrics.
+func (o *Observer) record(name string, d time.Duration, err error, recovered bool) {
+	m := o.stage(name)
+	m.runs.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+	}
+	if recovered {
+		m.panics.Add(1)
+	}
+	ns := int64(d)
+	m.totalNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	m.buckets[bucketFor(d)].Add(1)
+}
+
+// CacheHit counts one checker-level cache hit (the library-policy
+// memo in core).
+func (o *Observer) CacheHit() {
+	if o != nil {
+		o.cacheHits.Add(1)
+	}
+}
+
+// CacheMiss counts one checker-level cache miss.
+func (o *Observer) CacheMiss() {
+	if o != nil {
+		o.cacheMisses.Add(1)
+	}
+}
+
+// Span is one in-flight timed operation. It is a value type: starting
+// and ending a span performs no heap allocation.
+type Span struct {
+	o      *Observer
+	name   string
+	app    string
+	parent string
+	start  time.Time
+}
+
+// Start opens a span. It is nil-safe: with a nil Observer the span
+// still measures time (End reports the duration) but records nothing.
+// parent names the enclosing stage for sub-spans ("" for top level).
+func (o *Observer) Start(name, app, parent string) Span {
+	return Span{o: o, name: name, app: app, parent: parent, start: time.Now()}
+}
+
+// End closes the span, folding it into the stage metrics and emitting
+// it to the sink when one is attached. It returns the measured
+// duration (monotonic, from the Start call).
+func (s Span) End(err error, recovered bool) time.Duration {
+	d := time.Since(s.start)
+	if s.o == nil {
+		return d
+	}
+	s.o.record(s.name, d, err, recovered)
+	if s.o.sink != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		s.o.sink.Emit(SpanRecord{
+			Start:     s.start,
+			Span:      s.name,
+			App:       s.app,
+			Parent:    s.parent,
+			Micros:    d.Microseconds(),
+			Err:       msg,
+			Recovered: recovered,
+		})
+	}
+	return d
+}

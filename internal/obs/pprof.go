@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// ServePprof starts a net/http/pprof debug server on addr (host:port;
+// ":0" picks a free port) in a background goroutine and returns the
+// bound address. The CLIs expose it behind a -pprof flag so CPU and
+// heap profiles can be pulled from long corpus runs:
+//
+//	go tool pprof http://<addr>/debug/pprof/profile
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

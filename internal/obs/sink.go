@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span as emitted to a trace sink.
+type SpanRecord struct {
+	// Start is the wall-clock start time of the span.
+	Start time.Time `json:"ts"`
+	// Span is the stage or detector name.
+	Span string `json:"span"`
+	// App is the app the span ran for ("" for corpus-level spans).
+	App string `json:"app,omitempty"`
+	// Parent is the enclosing stage for sub-spans.
+	Parent string `json:"parent,omitempty"`
+	// Micros is the span duration in microseconds.
+	Micros int64 `json:"us"`
+	// Err is the stage error, if the stage failed.
+	Err string `json:"err,omitempty"`
+	// Recovered marks an error converted from a panic.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// Sink consumes finished spans. Implementations must be safe for
+// concurrent use: the parallel corpus runner emits from every worker.
+type Sink interface {
+	Emit(SpanRecord)
+}
+
+// JSONLSink writes one JSON object per span, newline-delimited — the
+// whole-corpus trace format consumed by jq or imported into tracing
+// UIs. Emits are serialized behind a mutex and buffered; call Close
+// (or Flush) before reading the output.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes one record. Write errors are sticky and reported by
+// Close.
+func (s *JSONLSink) Emit(rec SpanRecord) {
+	data, err := json.Marshal(rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.bw.Write(data); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.bw.WriteByte('\n')
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer (when it is a
+// Closer), returning the first error seen over the sink's lifetime.
+func (s *JSONLSink) Close() error {
+	ferr := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
+}

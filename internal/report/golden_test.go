@@ -1,0 +1,163 @@
+package report_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/report"
+	"ppchecker/internal/synth"
+)
+
+// The golden-report suite pins the canonical JSON document produced
+// for a representative app of every verdict class. Any change to the
+// detectors, the analyzers, or the JSON schema shows up as a byte
+// diff against testdata/golden/*.json. After an intentional change,
+// regenerate with:
+//
+//	go test ./internal/report -run TestGoldenReports -update
+//
+// and review the golden diff like any other code change.
+var update = flag.Bool("update", false, "rewrite the golden report files")
+
+// goldenCase selects the first corpus app exhibiting one verdict
+// class. Selection is by trait, not by index, so the suite survives
+// corpus-plan reshuffles as long as the class still occurs.
+type goldenCase struct {
+	name string
+	pick func(r *core.Report) bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"clean", func(r *core.Report) bool {
+			return !r.HasProblem() && len(r.Libs) > 0
+		}},
+		{"incomplete-description", func(r *core.Report) bool {
+			return len(r.IncompleteVia(core.ViaDescription)) > 0
+		}},
+		{"incomplete-code", func(r *core.Report) bool {
+			return len(r.IncompleteVia(core.ViaCode)) > 0
+		}},
+		{"incorrect", func(r *core.Report) bool {
+			return len(r.Incorrect) > 0
+		}},
+		{"inconsistent-cur", func(r *core.Report) bool {
+			for _, f := range r.Inconsistent {
+				if !f.Disclose() {
+					return true
+				}
+			}
+			return false
+		}},
+		{"inconsistent-disclose", func(r *core.Report) bool {
+			for _, f := range r.Inconsistent {
+				if f.Disclose() {
+					return true
+				}
+			}
+			return false
+		}},
+	}
+}
+
+// goldenJSON renders the canonical document with the run-varying
+// timing section normalized away.
+func goldenJSON(t *testing.T, r *core.Report) []byte {
+	t.Helper()
+	r.Timings = nil
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenReports(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := core.NewChecker()
+	reports := make([]*core.Report, len(ds.Apps))
+	for i := range ds.Apps {
+		reports[i] = checker.Check(ds.Apps[i].App)
+	}
+	used := make(map[string]bool)
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			// Prefer an app not already pinned by an earlier class so the
+			// golden set covers as many distinct documents as possible.
+			var rep *core.Report
+			for _, r := range reports {
+				if tc.pick(r) && (rep == nil || used[rep.App] && !used[r.App]) {
+					rep = r
+					if !used[r.App] {
+						break
+					}
+				}
+			}
+			if rep == nil {
+				t.Fatalf("no corpus app exhibits the %q verdict class", tc.name)
+			}
+			used[rep.App] = true
+			got := goldenJSON(t, rep)
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%s)", path, rep.App)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/report -run TestGoldenReports -update` to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report for %s diverges from %s:\n%s\nrerun with -update if the change is intentional",
+					rep.App, path, firstDiff(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure
+// message.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return "line " + itoa(i+1) + ":\n  golden: " + w + "\n  got:    " + g
+		}
+	}
+	return "(no line diff; byte-level difference)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

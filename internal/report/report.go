@@ -38,6 +38,23 @@ type Document struct {
 	CodeRetains        []string `json:"code_retains,omitempty"`
 	DescriptionImplies []string `json:"description_implies,omitempty"`
 	Libraries          []string `json:"libraries,omitempty"`
+
+	// Timings lists how long each executed pipeline stage took, in
+	// execution order, plus the per-app total. Golden-report comparisons
+	// normalize this section away (it varies run to run).
+	Timings *TimingsJSON `json:"timings,omitempty"`
+}
+
+// TimingsJSON is the per-app timing section of a report document.
+type TimingsJSON struct {
+	TotalMicros int64        `json:"total_us"`
+	Stages      []TimingJSON `json:"stages"`
+}
+
+// TimingJSON is one stage's measured duration.
+type TimingJSON struct {
+	Stage  string `json:"stage"`
+	Micros int64  `json:"us"`
 }
 
 // DegradedJSON is one failed pipeline stage on a partial report.
@@ -121,6 +138,15 @@ func FromReport(r *core.Report) *Document {
 	}
 	for _, l := range r.Libs {
 		d.Libraries = append(d.Libraries, l.Name)
+	}
+	if len(r.Timings) > 0 {
+		ts := &TimingsJSON{TotalMicros: r.TotalDuration().Microseconds()}
+		for _, tm := range r.Timings {
+			ts.Stages = append(ts.Stages, TimingJSON{
+				Stage: string(tm.Stage), Micros: tm.Duration.Microseconds(),
+			})
+		}
+		d.Timings = ts
 	}
 	return d
 }
@@ -208,6 +234,15 @@ li { margin: .3em 0; } code { background: #f2f2f2; padding: 0 .2em; }
 		facts = append(facts, "bundled libraries: "+html.EscapeString(strings.Join(d.Libraries, ", ")))
 	}
 	section("Analysis facts", facts)
+	if d.Timings != nil {
+		b.WriteString("<h2>Stage timings</h2>\n<table>\n<tr><th align=\"left\">stage</th><th align=\"right\">µs</th></tr>\n")
+		for _, tm := range d.Timings.Stages {
+			fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td align=\"right\">%d</td></tr>\n",
+				html.EscapeString(tm.Stage), tm.Micros)
+		}
+		fmt.Fprintf(&b, "<tr><td><b>total</b></td><td align=\"right\"><b>%d</b></td></tr>\n</table>\n",
+			d.Timings.TotalMicros)
+	}
 	b.WriteString("</body></html>\n")
 	_, err := io.WriteString(w, b.String())
 	return err

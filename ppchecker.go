@@ -34,6 +34,7 @@ import (
 	"ppchecker/internal/dex"
 	"ppchecker/internal/esa"
 	"ppchecker/internal/libdetect"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/patterns"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/report"
@@ -109,6 +110,15 @@ type (
 	StaticResult = static.Result
 	// Leak is one source→sink flow found by the taint analysis.
 	Leak = taint.Leak
+	// Observer collects per-stage spans, latency histograms, and cache
+	// counters for instrumented runs; share one across checkers.
+	Observer = obs.Observer
+	// ObserverSink consumes finished spans (e.g. the JSONL trace sink).
+	ObserverSink = obs.Sink
+	// MetricsSnapshot is a frozen view of an Observer's metrics.
+	MetricsSnapshot = obs.Snapshot
+	// StageTiming is one stage's measured duration on a report.
+	StageTiming = core.StageTiming
 )
 
 // NewChecker builds a checker with the paper's defaults (mined pattern
@@ -131,6 +141,25 @@ func WithSynonymExpansion() CheckerOption { return core.WithSynonymExpansion() }
 // of the paper): "we will not share X without your consent" is treated
 // as a conditional permission rather than a denial.
 func WithConstraintAnalysis() CheckerOption { return core.WithConstraintAnalysis() }
+
+// WithObserver instruments the checker: every pipeline stage and
+// detector reports a span (counts, latency histogram, optional trace)
+// to the observer. Build one with NewObserver; a nil observer disables
+// instrumentation at near-zero cost.
+func WithObserver(o *Observer) CheckerOption { return core.WithObserver(o) }
+
+// NewObserver builds an Observer; attach a trace sink with
+// obs options such as NewJSONLTraceSink's result.
+func NewObserver(sink ObserverSink) *Observer {
+	if sink == nil {
+		return obs.New()
+	}
+	return obs.New(obs.WithSink(sink))
+}
+
+// NewJSONLTraceSink returns a sink writing one JSON line per span to w
+// (close it to flush). Pass it to NewObserver for whole-run traces.
+func NewJSONLTraceSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
 
 // Check runs a default checker over one app.
 func Check(app *App) *Report { return NewChecker().Check(app) }

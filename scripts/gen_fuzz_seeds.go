@@ -1,0 +1,169 @@
+//go:build ignore
+
+// gen_fuzz_seeds promotes the fault classes exercised by the fuzz
+// targets' f.Add seeds into checked-in corpus files under each
+// package's testdata/fuzz/<FuzzTarget>/ directory. Checked-in seeds
+// replay as regular subtests during plain `go test` runs — every CI
+// run re-executes the historical crash classes without -fuzz — and
+// warm-start coverage-guided fuzzing.
+//
+// Regenerate (deterministic; overwrites the seed-* files):
+//
+//	go run scripts/gen_fuzz_seeds.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/dex"
+	"ppchecker/internal/sensitive"
+	"ppchecker/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gen_fuzz_seeds: ")
+	if _, err := os.Stat("go.mod"); err != nil {
+		log.Fatal("run from the repository root: go run scripts/gen_fuzz_seeds.go")
+	}
+	writeDexSeeds()
+	writeAPKSeeds()
+	writeHTMLSeeds()
+	writeNLPSeeds()
+}
+
+func writeDexSeeds() {
+	d, err := dex.Assemble(`
+.class Lcom/example/fuzz/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    const-string v1, "content://com.android.contacts"
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    if-z v1, 3
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid := dex.Encode(d)
+	emit := seeder("internal/dex", "FuzzDexDecode")
+	emit("valid", valid)
+	emit("bomb", dex.Encode(synth.BombDex()))
+	emit("empty", []byte{})
+	emit("magic-only", []byte("SDEX"))
+	emit("truncated", valid[:len(valid)/3])
+	for i, seed := range synth.NewCorruptor(1).Mangle(valid, 4) {
+		emit(fmt.Sprintf("mangled-%d", i), seed)
+	}
+}
+
+func writeAPKSeeds() {
+	d, err := dex.Assemble(`
+.class Lcom/example/fuzz/Main; extends Landroid/app/Activity;
+.method onCreate(Landroid/os/Bundle;)V regs=8
+    invoke-virtual {v0}, Landroid/location/Location;->getLatitude()D -> v1
+    return-void
+.end method
+.end class
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := &apk.Manifest{
+		Package:     "com.example.fuzz",
+		Permissions: []apk.Permission{{Name: sensitive.PermFineLocation}},
+		Application: apk.Application{Activities: []apk.Component{{Name: "com.example.fuzz.Main"}}},
+	}
+	emit := seeder("internal/apk", "FuzzAPKDecode")
+	for _, packed := range []bool{false, true} {
+		kind := "plain"
+		if packed {
+			kind = "packed"
+		}
+		a := apk.New(m, d)
+		a.Packed = packed
+		valid, err := apk.Encode(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("valid-"+kind, valid)
+		c := synth.NewCorruptor(2)
+		for _, fault := range []synth.Fault{
+			synth.FaultDexTruncated, synth.FaultDexBitFlip,
+			synth.FaultPackGarbage, synth.FaultCallCycle,
+		} {
+			if seed, err := c.CorruptAPK(valid, fault); err == nil {
+				emit(fmt.Sprintf("%s-%s", kind, fault), seed)
+			}
+		}
+	}
+	emit("magic-only", []byte("SAPK\x01"))
+}
+
+func writeHTMLSeeds() {
+	base := "<html><body><p>We collect your location information.</p></body></html>"
+	emit := seeder("internal/htmltext", "FuzzHTMLExtract")
+	emit("base", base)
+	c := synth.NewCorruptor(3)
+	for _, fault := range []synth.Fault{
+		synth.FaultPolicyBadUTF8, synth.FaultPolicyUnclosed,
+		synth.FaultPolicyEnumBomb, synth.FaultPolicyTokenBomb,
+	} {
+		if s, err := c.CorruptPolicy(base, fault); err == nil {
+			emit(string(fault), s)
+		}
+	}
+	emit("unclosed-script", "<script>unclosed")
+	emit("unterminated-comment", "<!-- unterminated comment")
+	emit("bad-entities", "&#x110000;&bogus;&")
+	emit("space-tag", "< div")
+}
+
+func writeNLPSeeds() {
+	base := "We collect your location. We share it with: partners; advertisers; and analytics providers."
+	emit := seeder("internal/nlp", "FuzzSentenceSplit")
+	emit("base", base)
+	c := synth.NewCorruptor(4)
+	for _, fault := range []synth.Fault{
+		synth.FaultPolicyEnumBomb, synth.FaultPolicyTokenBomb,
+	} {
+		if s, err := c.CorruptPolicy(base, fault); err == nil {
+			emit(string(fault), s)
+		}
+	}
+	emit("semicolon-lines", strings.Repeat("a;\n", 500))
+	emit("abbreviations", "e.g. i.e. etc. 3.14 v1.")
+	emit("empty", "")
+}
+
+// seeder returns an emit function writing seed-<name> files for one
+// fuzz target.
+func seeder(pkg, target string) func(name string, value any) {
+	dir := filepath.Join(filepath.FromSlash(pkg), "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	return func(name string, value any) {
+		var b strings.Builder
+		b.WriteString("go test fuzz v1\n")
+		switch v := value.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", v)
+		case string:
+			fmt.Fprintf(&b, "string(%q)\n", v)
+		default:
+			log.Fatalf("unsupported seed type %T", value)
+		}
+		path := filepath.Join(dir, "seed-"+name)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
