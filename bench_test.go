@@ -12,6 +12,7 @@ package ppchecker
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -304,6 +305,45 @@ func BenchmarkESASimilarity(b *testing.B) {
 	}
 }
 
+// BenchmarkSimilarityWarm measures the vectorized hot path once the
+// interpret memo holds both phrases: two cache lookups plus one
+// merge-walk cosine, the shape of nearly every Similarity call in a
+// corpus run.
+func BenchmarkSimilarityWarm(b *testing.B) {
+	x := esa.Default()
+	x.Similarity("location information", "your current location") // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Similarity("location information", "your current location")
+	}
+}
+
+// BenchmarkSimilarityCold measures the miss path: every iteration
+// interprets a never-seen phrase, so tokenization and vector
+// construction (with the pooled scratch buffer) are on the clock.
+func BenchmarkSimilarityCold(b *testing.B) {
+	x := esa.Default()
+	phrases := make([]string, b.N)
+	for i := range phrases {
+		phrases[i] = fmt.Sprintf("location data variant %d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Similarity(phrases[i], "your current location")
+	}
+}
+
+// BenchmarkSimilarityReferenceMap measures the retained map-based
+// reference path the vectorized engine is verified against, for
+// before/after comparison in the same run.
+func BenchmarkSimilarityReferenceMap(b *testing.B) {
+	x := esa.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		esa.Cosine(x.Interpret("location information"), x.Interpret("your current location"))
+	}
+}
+
 // BenchmarkAPGBuild measures Android-property-graph construction.
 func BenchmarkAPGBuild(b *testing.B) {
 	ds := paperCorpus(b)
@@ -354,7 +394,8 @@ func BenchmarkAutoPPGGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkSummaryParallel measures the worker-pool corpus evaluation.
+// BenchmarkSummaryParallel measures the worker-pool corpus evaluation
+// and reports corpus throughput in apps/sec.
 func BenchmarkSummaryParallel(b *testing.B) {
 	ds := paperCorpus(b)
 	b.ResetTimer()
@@ -363,4 +404,5 @@ func BenchmarkSummaryParallel(b *testing.B) {
 		s = eval.EvaluateCorpusParallel(ds, 0).Summary()
 	}
 	b.ReportMetric(float64(s.AppsWithProblem), "apps-with-problem")
+	b.ReportMetric(float64(len(ds.Apps))*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
 }

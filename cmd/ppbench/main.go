@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
 	"ppchecker/internal/eval"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/synth"
@@ -110,14 +111,19 @@ func main() {
 		start = time.Now()
 		runOpts := eval.DefaultRunOptions()
 		runOpts.Observer = observer
+		esaBefore := esa.AggregateCacheStats()
 		res, stats, err := eval.EvaluateCorpusRobust(context.Background(), ds, runOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		wall := time.Since(start)
+		esaDelta := esa.AggregateCacheStats().Sub(esaBefore)
 		fmt.Printf("corpus: %d apps generated in %v, analyzed in %v\n",
 			*apps, genTime.Round(time.Millisecond), wall.Round(time.Millisecond))
-		fmt.Printf("%s\n\n", stats.Render())
+		fmt.Println(stats.Render())
+		fmt.Printf("throughput: %.1f apps/sec; ESA interpret cache: %.1f%% hit rate (%d hits, %d misses, %d evictions)\n\n",
+			float64(*apps)/wall.Seconds(), 100*esaDelta.HitRate(),
+			esaDelta.Hits, esaDelta.Misses, esaDelta.Evictions)
 		if stats.Metrics != nil {
 			fmt.Println("Per-stage metrics:")
 			fmt.Print(stats.Metrics.Render())

@@ -98,6 +98,7 @@ func run() int {
 		defer cancel()
 	}
 	app, ferrs := bundle.ReadAppLenient(*appDir, *libsDir)
+	esaBefore := ppchecker.AggregateESACacheStats()
 	rep, err := ppchecker.NewChecker(ppchecker.WithObserver(observer)).CheckSafe(ctx, app)
 	if rep == nil {
 		log.Fatal(err)
@@ -120,6 +121,8 @@ func run() int {
 		}
 	}
 	if *metrics {
+		core.RecordESACacheCounters(observer,
+			ppchecker.AggregateESACacheStats().Sub(esaBefore))
 		fmt.Println("--- per-stage metrics ---")
 		fmt.Print(observer.Snapshot().Render())
 	}

@@ -28,7 +28,6 @@ import (
 	"os/signal"
 	"time"
 
-	"ppchecker/internal/core"
 	"ppchecker/internal/eval"
 	"ppchecker/internal/obs"
 )
@@ -101,7 +100,12 @@ func run() int {
 		}
 		degraded = stats.Degraded > 0 || stats.Failed > 0 || stats.Skipped > 0
 	} else {
-		res, err = eval.EvaluateCorpusDir(*dir, core.WithObserver(observer))
+		// Serial deterministic run on the robust engine; routing the
+		// observer through RunOptions (rather than a checker option)
+		// lets the runner fold the run-level cache counters into the
+		// same exposition.
+		res, _, err = eval.EvaluateCorpusDirRobust(context.Background(), *dir,
+			eval.RunOptions{Workers: 1, Observer: observer})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ppchecker/internal/esa"
+	"ppchecker/internal/obs"
+	"ppchecker/internal/policy"
+)
+
+// AnalysisCache memoizes library-policy analyses by policy text. The
+// same ~81 library policies recur across a whole corpus, so a cache
+// shared by every worker analyzes each unique policy text exactly once
+// per run instead of once per worker.
+//
+// The cache is concurrency-safe and single-flight: when several
+// workers ask for the same uncached text at once, one runs the
+// analysis and the rest block until its result is ready, then share
+// it. Entries are never evicted — the key space is the fixed library
+// inventory, bounded by construction.
+//
+// Ownership contract: the runner (eval.EvaluateCorpusRobust and
+// friends) constructs one cache per run and hands it to every worker's
+// Checker via WithSharedAnalysisCache. A cache must only be shared
+// between checkers with an identical policy-analyzer configuration —
+// the cached Analysis is whatever the first checker's analyzer
+// produced.
+type AnalysisCache struct {
+	entries sync.Map // policy text -> *cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once     sync.Once
+	analysis *policy.Analysis
+}
+
+// NewAnalysisCache builds an empty shared cache.
+func NewAnalysisCache() *AnalysisCache { return &AnalysisCache{} }
+
+// Get returns the analysis for key, computing it at most once across
+// all concurrent callers. It reports whether the value was served from
+// cache (false exactly once per key, for the caller whose compute
+// ran).
+func (c *AnalysisCache) Get(key string, compute func() *policy.Analysis) (*policy.Analysis, bool) {
+	v, _ := c.entries.LoadOrStore(key, &cacheEntry{})
+	e := v.(*cacheEntry)
+	ran := false
+	e.once.Do(func() {
+		e.analysis = compute()
+		ran = true
+	})
+	if ran {
+		c.misses.Add(1)
+		return e.analysis, false
+	}
+	c.hits.Add(1)
+	return e.analysis, true
+}
+
+// Stats returns the cumulative hit and miss counts. Misses equal the
+// number of analyses actually performed.
+func (c *AnalysisCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of unique policy texts seen.
+func (c *AnalysisCache) Len() int {
+	n := 0
+	c.entries.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// RecordESACacheCounters folds an ESA cache-stats delta (taken with
+// esa.AggregateCacheStats around a run) into the observer's named
+// counters, so the -metrics exposition shows the interpret-memo and
+// vector-pool economics. Nil-safe on the observer.
+func RecordESACacheCounters(o *obs.Observer, d esa.CacheStats) {
+	o.AddCounter("esa-interpret-hits", d.Hits)
+	o.AddCounter("esa-interpret-misses", d.Misses)
+	o.AddCounter("esa-interpret-evictions", d.Evictions)
+	o.AddCounter("esa-vec-pool-gets", d.PoolGets)
+	o.AddCounter("esa-vec-pool-allocs", d.PoolNews)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppchecker/internal/policy"
+)
+
+// TestAnalysisCacheSingleFlight: under heavy contention on one key,
+// the compute function runs exactly once and every caller receives the
+// same analysis pointer.
+func TestAnalysisCacheSingleFlight(t *testing.T) {
+	cache := NewAnalysisCache()
+	var computes atomic.Int64
+	const goroutines = 32
+	results := make([]*policy.Analysis, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, _ := cache.Get("we collect your location", func() *policy.Analysis {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return &policy.Analysis{}
+			})
+			results[g] = a
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different analysis pointer", g)
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("stats = %d hits, %d misses; want %d, 1", hits, misses, goroutines-1)
+	}
+}
+
+// TestAnalysisCacheOncePerUniqueText: many goroutines over an
+// overlapping key set still perform exactly one analysis per unique
+// policy text.
+func TestAnalysisCacheOncePerUniqueText(t *testing.T) {
+	cache := NewAnalysisCache()
+	const uniqueTexts = 17
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("lib policy %d", (g*13+i)%uniqueTexts)
+				a, _ := cache.Get(key, func() *policy.Analysis {
+					computes.Add(1)
+					return &policy.Analysis{}
+				})
+				if a == nil {
+					t.Error("nil analysis")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != uniqueTexts {
+		t.Fatalf("%d analyses for %d unique texts", n, uniqueTexts)
+	}
+	if cache.Len() != uniqueTexts {
+		t.Fatalf("cache holds %d texts, want %d", cache.Len(), uniqueTexts)
+	}
+	_, misses := cache.Stats()
+	if misses != uniqueTexts {
+		t.Fatalf("misses = %d, want %d", misses, uniqueTexts)
+	}
+}
+
+// TestSharedCacheAcrossCheckers: checkers sharing one cache reuse each
+// other's library-policy analyses instead of re-running them.
+func TestSharedCacheAcrossCheckers(t *testing.T) {
+	cache := NewAnalysisCache()
+	a := NewChecker(WithSharedAnalysisCache(cache))
+	b := NewChecker(WithSharedAnalysisCache(cache))
+	if a.libCache != cache || b.libCache != cache {
+		t.Fatal("checkers did not adopt the shared cache")
+	}
+	// Nil cache leaves the private default in place.
+	c := NewChecker(WithSharedAnalysisCache(nil))
+	if c.libCache == nil || c.libCache == cache {
+		t.Fatal("nil shared cache should keep a private cache")
+	}
+}

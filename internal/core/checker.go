@@ -15,6 +15,7 @@ import (
 	"ppchecker/internal/obs"
 	"ppchecker/internal/patterns"
 	"ppchecker/internal/policy"
+	"ppchecker/internal/sensitive"
 	"ppchecker/internal/static"
 )
 
@@ -37,7 +38,10 @@ type App struct {
 }
 
 // Checker runs the full pipeline. Construct with NewChecker; the zero
-// value is not usable.
+// value is not usable. A Checker itself is not safe for concurrent
+// use, but its caches (the shared AnalysisCache and the ESA interpret
+// memo) are, so many checkers — one per corpus worker — may share
+// them.
 type Checker struct {
 	policyAnalyzer *policy.Analyzer
 	descAnalyzer   *desc.Analyzer
@@ -47,9 +51,16 @@ type Checker struct {
 	disclaimers    bool
 
 	// libCache memoizes lib-policy analyses by policy text; the same 81
-	// library policies recur across the whole corpus. A Checker is not
-	// safe for concurrent use.
-	libCache map[string]*policy.Analysis
+	// library policies recur across the whole corpus. By default each
+	// checker owns a private cache; the corpus runner substitutes one
+	// shared, single-flight cache for all workers via
+	// WithSharedAnalysisCache.
+	libCache *AnalysisCache
+
+	// infoVecs holds the ESA vectors of the fixed sensitive-information
+	// vocabulary, precompiled at construction so the detectors' inner
+	// similarity loops never re-interpret the information side.
+	infoVecs map[string]*esa.ConceptVec
 
 	// obs receives spans and counters for every pipeline stage and
 	// detector. A nil observer records nothing; many checkers (one per
@@ -90,6 +101,19 @@ func WithObserver(o *obs.Observer) CheckerOption {
 	return func(c *Checker) { c.obs = o }
 }
 
+// WithSharedAnalysisCache substitutes the library-policy analysis
+// cache with one shared across checkers (see AnalysisCache for the
+// ownership and configuration contract). The corpus runners use this
+// so the recurring library policies are analyzed once per run instead
+// of once per worker.
+func WithSharedAnalysisCache(cache *AnalysisCache) CheckerOption {
+	return func(c *Checker) {
+		if cache != nil {
+			c.libCache = cache
+		}
+	}
+}
+
 // WithSynonymExpansion enables the §VI extension that adds synonym
 // verbs ("display", "check", ...) to the category lists, recovering
 // the paper's reported false negatives.
@@ -117,10 +141,17 @@ func NewChecker(opts ...CheckerOption) *Checker {
 		threshold:      esa.DefaultThreshold,
 		staticOpts:     static.DefaultOptions(),
 		disclaimers:    true,
-		libCache:       map[string]*policy.Analysis{},
+		libCache:       NewAnalysisCache(),
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	// Precompile the fixed phrase set the detectors compare against:
+	// every sensitive-information name gets its ESA vector once here,
+	// so the N×M similarity loops only ever interpret the per-app side.
+	c.infoVecs = make(map[string]*esa.ConceptVec, len(sensitive.AllInfos()))
+	for _, info := range sensitive.AllInfos() {
+		c.infoVecs[string(info)] = c.index.InterpretVec(string(info))
 	}
 	return c
 }
@@ -144,11 +175,25 @@ func appName(app *App) string {
 	return "(unnamed)"
 }
 
+// vec returns the ESA vector for a phrase: precompiled when the
+// phrase is part of the fixed information vocabulary, memoized via the
+// index otherwise.
+func (c *Checker) vec(phrase string) *esa.ConceptVec {
+	if v, ok := c.infoVecs[phrase]; ok {
+		return v
+	}
+	return c.index.InterpretVec(phrase)
+}
+
 // similarTo reports whether info matches any phrase in set under the
-// ESA threshold — the Similarity() predicate of Algorithms 1–5.
+// ESA threshold — the Similarity() predicate of Algorithms 1–5. The
+// info side is interpreted once; set phrases resolve through the
+// interpret memo, so recurring policy resources tokenize once per
+// process.
 func (c *Checker) similarTo(info string, set []string) bool {
+	iv := c.vec(info)
 	for _, s := range set {
-		if c.index.Similarity(info, s) >= c.threshold {
+		if esa.CosineVec(iv, c.index.InterpretVec(s)) >= c.threshold {
 			return true
 		}
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 
+	"ppchecker/internal/esa"
+	"ppchecker/internal/policy"
 	"ppchecker/internal/verbs"
 )
 
@@ -28,13 +30,13 @@ func (c *Checker) detectInconsistent(app *App, r *Report) {
 		if !ok || policyText == "" {
 			continue // no English policy for this lib, as in §V-A
 		}
-		libAnalysis, cached := c.libCache[policyText]
+		libAnalysis, cached := c.libCache.Get(policyText, func() *policy.Analysis {
+			return c.policyAnalyzer.AnalyzeHTML(policyText)
+		})
 		if cached {
 			c.obs.CacheHit()
 		} else {
 			c.obs.CacheMiss()
-			libAnalysis = c.policyAnalyzer.AnalyzeHTML(policyText)
-			c.libCache[policyText] = libAnalysis
 		}
 		for _, appSt := range r.Policy.Statements {
 			// Requirement (2): AppSent negative.
@@ -63,11 +65,14 @@ func (c *Checker) detectInconsistent(app *App, r *Report) {
 }
 
 // sharedResource returns the first app resource matching any lib
-// resource under the ESA threshold.
+// resource under the ESA threshold. Each side is interpreted once per
+// call (and once per process for recurring phrases, via the memo)
+// instead of once per pair.
 func (c *Checker) sharedResource(appRes, libRes []string) (string, bool) {
 	for _, ar := range appRes {
+		av := c.index.InterpretVec(ar)
 		for _, lr := range libRes {
-			if c.index.Similarity(ar, lr) >= c.threshold {
+			if esa.CosineVec(av, c.index.InterpretVec(lr)) >= c.threshold {
 				return ar, true
 			}
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ppchecker/internal/esa"
 	"ppchecker/internal/sensitive"
 	"ppchecker/internal/verbs"
 )
@@ -60,14 +61,17 @@ func (c *Checker) detectIncorrect(app *App, r *Report) {
 }
 
 // negatedSentenceFor finds a negative statement of the category whose
-// resource matches info, returning its sentence.
+// resource matches info, returning its sentence. The info side is
+// interpreted once (usually a precompiled vector); statement resources
+// resolve through the interpret memo.
 func (c *Checker) negatedSentenceFor(r *Report, cat verbs.Category, info string) (string, bool) {
+	iv := c.vec(info)
 	for _, st := range r.Policy.Statements {
 		if !st.Negative || st.Category != cat {
 			continue
 		}
 		for _, res := range st.Resources {
-			if c.index.Similarity(info, res) >= c.threshold {
+			if esa.CosineVec(iv, c.index.InterpretVec(res)) >= c.threshold {
 				return st.Sentence, true
 			}
 		}

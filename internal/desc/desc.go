@@ -141,21 +141,36 @@ func (a *Analyzer) Unjustified(requested []string, description string) []string 
 }
 
 // candidatePhrases extracts the phrases to project: noun phrases plus
-// verb+object bigrams ("scan barcodes", "record audio").
+// verb+object bigrams ("scan barcodes", "record audio"). Phrases are
+// assembled in one reused scratch buffer, so each costs a single
+// allocation regardless of word count.
 func candidatePhrases(toks []nlp.Token) []string {
-	var out []string
 	chunks := nlp.ChunkNPs(toks)
-	for _, c := range chunks {
-		var words []string
+	out := make([]string, 0, len(chunks))
+	var buf []byte
+	phrase := func(prefix string, c nlp.Chunk) (string, bool) {
+		buf = buf[:0]
+		if prefix != "" {
+			buf = append(buf, prefix...)
+			buf = append(buf, ' ')
+		}
+		wrote := false
 		for i := c.Start; i < c.End; i++ {
 			switch toks[i].Tag {
 			case nlp.TagDT, nlp.TagPRPS:
 				continue
 			}
-			words = append(words, toks[i].Lower)
+			if wrote {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, toks[i].Lower...)
+			wrote = true
 		}
-		if len(words) > 0 {
-			out = append(out, join(words))
+		return string(buf), wrote
+	}
+	for _, c := range chunks {
+		if p, ok := phrase("", c); ok {
+			out = append(out, p)
 		}
 	}
 	// verb + object pairs
@@ -163,34 +178,12 @@ func candidatePhrases(toks []nlp.Token) []string {
 		if toks[i].Tag.IsVerb() {
 			for _, c := range chunks {
 				if c.Start == i+1 || c.Start == i+2 {
-					out = append(out, toks[i].Lower+" "+join(phraseWords(toks, c)))
+					p, _ := phrase(toks[i].Lower, c)
+					out = append(out, p)
 					break
 				}
 			}
 		}
 	}
 	return out
-}
-
-func phraseWords(toks []nlp.Token, c nlp.Chunk) []string {
-	var words []string
-	for i := c.Start; i < c.End; i++ {
-		switch toks[i].Tag {
-		case nlp.TagDT, nlp.TagPRPS:
-			continue
-		}
-		words = append(words, toks[i].Lower)
-	}
-	return words
-}
-
-func join(words []string) string {
-	s := ""
-	for i, w := range words {
-		if i > 0 {
-			s += " "
-		}
-		s += w
-	}
-	return s
 }

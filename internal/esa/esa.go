@@ -11,18 +11,26 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DefaultThreshold is the similarity threshold the paper adopts.
 const DefaultThreshold = 0.67
 
 // Index is an ESA model: an inverted index from terms to concept
-// weights. It is immutable after construction and safe for concurrent
-// use.
+// weights. The index itself is immutable after construction and safe
+// for concurrent use; the attached interpret memo and scratch pool are
+// concurrency-safe caches over that immutable state.
 type Index struct {
 	concepts []string
 	// postings maps a term to its TF-IDF weight in each concept.
 	postings map[string][]posting
+
+	// memo caches InterpretVec results (sharded, bounded); scratch
+	// pools the dense accumulation buffers; cells counts both.
+	memo    interpretMemo
+	scratch sync.Pool
+	cells   cacheCells
 }
 
 type posting struct {
@@ -77,6 +85,7 @@ func New(kb []Article) *Index {
 		ps := idx.postings[t]
 		sort.Slice(ps, func(a, b int) bool { return ps[a].concept < ps[b].concept })
 	}
+	idx.initVectorPath()
 	return idx
 }
 
@@ -89,7 +98,10 @@ var defaultIndex = New(BuiltinKB())
 // Concepts returns the concept titles of the index, in order.
 func (x *Index) Concepts() []string { return append([]string(nil), x.concepts...) }
 
-// Interpret maps a text to its concept vector.
+// Interpret maps a text to its concept vector. It is the reference
+// implementation the vectorized path (InterpretVec/CosineVec) is
+// verified against; hot-path callers should prefer InterpretVec, which
+// memoizes.
 func (x *Index) Interpret(text string) Vector {
 	v := Vector{}
 	for _, t := range Terms(text) {
@@ -100,20 +112,28 @@ func (x *Index) Interpret(text string) Vector {
 	return v
 }
 
+// top returns the index of the highest-weighted concept of v, or -1
+// for an empty vector. Entries are sorted ascending, so a strict >
+// keeps the lowest concept on ties, matching the reference tie-break.
+func top(v *ConceptVec) int {
+	best, bw := -1, 0.0
+	for i, w := range v.weights {
+		if w > bw {
+			best, bw = i, w
+		}
+	}
+	return best
+}
+
 // TopConcept returns the highest-weighted concept title for a text and
 // its weight, or ("", 0) when the text maps to nothing.
 func (x *Index) TopConcept(text string) (string, float64) {
-	v := x.Interpret(text)
-	best, bw := -1, 0.0
-	for c, w := range v {
-		if w > bw || (w == bw && (best < 0 || c < best)) {
-			best, bw = c, w
-		}
-	}
+	v := x.InterpretVec(text)
+	best := top(v)
 	if best < 0 {
 		return "", 0
 	}
-	return x.concepts[best], bw
+	return x.concepts[v.concepts[best]], v.weights[best]
 }
 
 // Classify returns the concept whose axis is closest to the text's
@@ -121,64 +141,70 @@ func (x *Index) TopConcept(text string) (string, float64) {
 // (v[c]/‖v‖). Unlike TopConcept's raw weight, the result is
 // length-normalized, so it is comparable against a threshold.
 func (x *Index) Classify(text string) (string, float64) {
-	v := x.Interpret(text)
-	if len(v) == 0 {
+	v := x.InterpretVec(text)
+	best := top(v)
+	if best < 0 || v.norm == 0 {
 		return "", 0
 	}
-	var norm float64
-	for _, w := range v {
-		norm += w * w
-	}
-	norm = math.Sqrt(norm)
-	best, bw := -1, 0.0
-	for c, w := range v {
-		if w > bw || (w == bw && (best < 0 || c < best)) {
-			best, bw = c, w
-		}
-	}
-	if best < 0 || norm == 0 {
-		return "", 0
-	}
-	return x.concepts[best], bw / norm
+	return x.concepts[v.concepts[best]], v.weights[best] / v.norm
 }
 
 // ClassifyWithSupport is Classify plus the number of distinct terms of
 // the text that support the winning concept. Callers that must resist
 // single-word coincidences (a generic word appearing in only one
-// concept yields cosine 1.0) can demand support ≥ 2.
+// concept yields cosine 1.0) can demand support ≥ 2. The text is
+// tokenized at most once — not at all when both the vector and its
+// support count are already cached — and the winning concept index is
+// taken straight from the vector rather than re-derived from scratch.
 func (x *Index) ClassifyWithSupport(text string) (string, float64, int) {
-	title, cos := x.Classify(text)
-	if title == "" {
+	var terms []string
+	v, ok := x.memo.get(text)
+	if ok {
+		x.cells.hits.Add(1)
+		globalCells.hits.Add(1)
+	} else {
+		x.cells.misses.Add(1)
+		globalCells.misses.Add(1)
+		terms = Terms(text)
+		v = x.buildVec(terms)
+		if len(text) <= memoMaxKeyLen {
+			x.memo.put(text, v, &x.cells)
+		}
+	}
+	best := top(v)
+	if best < 0 || v.norm == 0 {
 		return "", 0, 0
 	}
-	concept := -1
-	for i, t := range x.concepts {
-		if t == title {
-			concept = i
-			break
-		}
+	concept := v.concepts[best]
+	if s := v.topSupport.Load(); s > 0 {
+		return x.concepts[concept], v.weights[best] / v.norm, int(s - 1)
+	}
+	if terms == nil {
+		terms = Terms(text)
 	}
 	support := 0
 	seen := map[string]bool{}
-	for _, term := range Terms(text) {
+	for _, term := range terms {
 		if seen[term] {
 			continue
 		}
 		seen[term] = true
 		for _, p := range x.postings[term] {
-			if p.concept == concept {
+			if int32(p.concept) == concept {
 				support++
 				break
 			}
 		}
 	}
-	return title, cos, support
+	v.topSupport.Store(int32(support) + 1)
+	return x.concepts[concept], v.weights[best] / v.norm, support
 }
 
 // Similarity returns the cosine similarity of the concept vectors of
-// two texts, in [0, 1].
+// two texts, in [0, 1]. Both interpretations go through the memo, so
+// recurring phrases tokenize once per process.
 func (x *Index) Similarity(a, b string) float64 {
-	return Cosine(x.Interpret(a), x.Interpret(b))
+	return CosineVec(x.InterpretVec(a), x.InterpretVec(b))
 }
 
 // Same reports whether two texts refer to the same thing under the
@@ -187,7 +213,9 @@ func (x *Index) Same(a, b string) bool {
 	return x.Similarity(a, b) >= DefaultThreshold
 }
 
-// Cosine computes the cosine similarity of two sparse vectors.
+// Cosine computes the cosine similarity of two sparse map vectors. It
+// is the reference implementation for CosineVec and is retained for
+// the differential tests; hot paths use CosineVec over slice vectors.
 func Cosine(a, b Vector) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -265,14 +293,30 @@ func Terms(text string) []string {
 }
 
 func unigrams(text string) []string {
-	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() == 0 {
+	out := make([]string, 0, len(text)/6+1)
+	// Words are maximal runs of alphanumerics; each is sliced out of
+	// text directly, lowercasing into a scratch buffer only when the run
+	// actually contains uppercase letters.
+	var buf []byte
+	start, hasUpper := -1, false
+	flush := func(end int) {
+		if start < 0 {
 			return
 		}
-		t := stem(cur.String())
-		cur.Reset()
+		w := text[start:end]
+		if hasUpper {
+			buf = buf[:0]
+			for k := start; k < end; k++ {
+				c := text[k]
+				if c >= 'A' && c <= 'Z' {
+					c += 32
+				}
+				buf = append(buf, c)
+			}
+			w = string(buf)
+		}
+		start, hasUpper = -1, false
+		t := stem(w)
 		if !stopTerms[t] && len(t) > 1 || t == "ip" || t == "id" || t == "os" {
 			out = append(out, t)
 		}
@@ -281,16 +325,19 @@ func unigrams(text string) []string {
 		c := text[i]
 		switch {
 		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
-			cur.WriteByte(c)
+			if start < 0 {
+				start = i
+			}
 		case c >= 'A' && c <= 'Z':
-			cur.WriteByte(c + 32)
-		case c == '-' || c == '\'':
-			// treat as separator: "e-mail" → "e", "mail"
-			flush()
+			if start < 0 {
+				start = i
+			}
+			hasUpper = true
 		default:
-			flush()
+			// '-' and '\'' included: separators, "e-mail" → "e", "mail"
+			flush(i)
 		}
 	}
-	flush()
+	flush(len(text))
 	return out
 }

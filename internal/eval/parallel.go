@@ -9,11 +9,12 @@ import (
 )
 
 // EvaluateCorpusParallel is EvaluateCorpus fanned out over a worker
-// pool. A Checker is not safe for concurrent use (it memoizes library
-// policy analyses), so each worker owns one; results land at their
-// app's index, keeping output identical to the serial path. The work
-// runs on the robust engine, so one misbehaving app degrades its own
-// report instead of crashing the run.
+// pool. A Checker is not safe for concurrent use, so each worker owns
+// one, but all workers share a single-flight library-policy analysis
+// cache, so each unique library policy is analyzed once per run;
+// results land at their app's index, keeping output identical to the
+// serial path. The work runs on the robust engine, so one misbehaving
+// app degrades its own report instead of crashing the run.
 func EvaluateCorpusParallel(ds *synth.Dataset, workers int, opts ...core.CheckerOption) *CorpusResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
 	"ppchecker/internal/bundle"
+	"ppchecker/internal/obs"
 	"ppchecker/internal/synth"
 )
 
@@ -28,6 +30,42 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	if serial.Summary() != parallel.Summary() {
 		t.Fatalf("summaries differ: %+v vs %+v", serial.Summary(), parallel.Summary())
+	}
+}
+
+// TestSharedLibCacheBoundsAnalyses: on a parallel instrumented run,
+// the number of library-policy analyses performed is bounded by the
+// number of unique policy texts — the whole point of the shared
+// single-flight cache (a per-worker cache would do workers × unique).
+func TestSharedLibCacheBoundsAnalyses(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, NumApps: synth.MinApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.New()
+	opts := DefaultRunOptions()
+	opts.Workers = 4
+	opts.Observer = observer
+	_, stats, err := EvaluateCorpusRobust(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyses, ok := stats.Metrics.Counter("lib-policy-analyses")
+	if !ok {
+		t.Fatal("lib-policy-analyses counter missing from snapshot")
+	}
+	unique, ok := stats.Metrics.Counter("lib-policy-unique-texts")
+	if !ok {
+		t.Fatal("lib-policy-unique-texts counter missing from snapshot")
+	}
+	if unique == 0 {
+		t.Fatal("corpus has no library policies; test is vacuous")
+	}
+	if analyses > unique {
+		t.Fatalf("%d analyses for %d unique policy texts: cache not shared across workers", analyses, unique)
+	}
+	if hits, _ := stats.Metrics.Counter("esa-interpret-hits"); hits == 0 {
+		t.Fatal("esa-interpret-hits counter absent or zero on a corpus run")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/policy"
 	"ppchecker/internal/synth"
@@ -67,6 +68,13 @@ type RunOptions struct {
 	// span covering its whole analysis (retries included), and the
 	// final per-stage snapshot lands in RunStats.Metrics.
 	Observer *obs.Observer
+	// SharedAnalysisCache is the library-policy analysis cache handed
+	// to every worker's checker, so the corpus's recurring library
+	// policies are analyzed once per run rather than once per worker.
+	// When nil the runner constructs one per run; pass a cache
+	// explicitly to share it across several runs (the checkers must
+	// then use an identical policy-analyzer configuration).
+	SharedAnalysisCache *core.AnalysisCache
 }
 
 // DefaultRunOptions returns the runner defaults: GOMAXPROCS workers,
@@ -182,11 +190,16 @@ func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResu
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	checkerOpts := opts.CheckerOptions
-	if opts.Observer != nil {
-		checkerOpts = append(append([]core.CheckerOption{}, checkerOpts...),
-			core.WithObserver(opts.Observer))
+	libCache := opts.SharedAnalysisCache
+	if libCache == nil {
+		libCache = core.NewAnalysisCache()
 	}
+	checkerOpts := append(append([]core.CheckerOption{}, opts.CheckerOptions...),
+		core.WithSharedAnalysisCache(libCache))
+	if opts.Observer != nil {
+		checkerOpts = append(checkerOpts, core.WithObserver(opts.Observer))
+	}
+	esaBefore := esa.AggregateCacheStats()
 	idxCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -229,6 +242,16 @@ feed:
 			res.Reports[i] = stubReport(jobs[i].name, ctx.Err())
 			stats.Skipped++
 		}
+	}
+	if opts.Observer != nil {
+		// Fold the run's cache economics into the exposition: the ESA
+		// interpret memo / vector pool (process-global, so reported as a
+		// delta over the run) and the shared lib-policy cache (analyses
+		// performed must not exceed unique policy texts).
+		core.RecordESACacheCounters(opts.Observer, esa.AggregateCacheStats().Sub(esaBefore))
+		_, analyses := libCache.Stats()
+		opts.Observer.AddCounter("lib-policy-analyses", analyses)
+		opts.Observer.AddCounter("lib-policy-unique-texts", int64(libCache.Len()))
 	}
 	stats.Metrics = opts.Observer.Snapshot()
 	return res, stats, ctx.Err()

@@ -13,7 +13,7 @@ type Chunk struct {
 // also an NP. Participles are only premodifiers when a noun follows, so
 // main verbs are never swallowed.
 func ChunkNPs(toks []Token) []Chunk {
-	var chunks []Chunk
+	chunks := make([]Chunk, 0, len(toks)/3+1)
 	n := len(toks)
 	i := 0
 	for i < n {

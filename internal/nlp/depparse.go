@@ -79,8 +79,11 @@ func ParseTokens(toks []Token) *Parse {
 	p := &Parse{
 		Tokens: toks,
 		Root:   -1,
-		heads:  make([]int, len(toks)),
-		rels:   make([]Rel, len(toks)),
+		// Each token attaches at most once (emit's first-wins rule) plus
+		// the root edge, so len(toks) bounds the edge count.
+		Deps:  make([]Dep, 0, len(toks)),
+		heads: make([]int, len(toks)),
+		rels:  make([]Rel, len(toks)),
 	}
 	for i := range p.heads {
 		p.heads[i] = -2 // unattached
@@ -149,7 +152,7 @@ func (p *Parse) inConstraint(i int) bool {
 // mainRegion returns the token indices of the main clause (everything
 // outside constraint spans).
 func (p *Parse) mainRegion() []int {
-	var idx []int
+	idx := make([]int, 0, len(p.Tokens))
 	for i := range p.Tokens {
 		if !p.inConstraint(i) {
 			idx = append(idx, i)

@@ -89,34 +89,33 @@ func SplitSentences(text string) []string {
 // (. ! ?) and hard line breaks end sentences; abbreviations and decimal
 // points do not.
 func rawSplit(text string) []string {
+	// Sentences are contiguous spans of text (only the '\n' terminator
+	// is dropped), so each one is sliced out rather than rebuilt.
 	var sents []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			sents = append(sents, cur.String())
-			cur.Reset()
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			sents = append(sents, text[start:end])
 		}
+		start = end
 	}
 	n := len(text)
 	for i := 0; i < n; i++ {
-		c := text[i]
-		switch c {
+		switch c := text[i]; c {
 		case '\n':
-			flush()
+			flush(i)
+			start = i + 1
 		case '.', '!', '?':
-			cur.WriteByte(c)
 			if c == '.' && isAbbrevBefore(text, i) {
 				continue
 			}
 			if c == '.' && i+1 < n && isDigit(text[i+1]) {
 				continue // decimal point
 			}
-			flush()
-		default:
-			cur.WriteByte(c)
+			flush(i + 1)
 		}
 	}
-	flush()
+	flush(n)
 	return sents
 }
 
@@ -146,7 +145,7 @@ func isAbbrevBefore(text string, i int) bool {
 // sentences beyond MaxSentenceBytes, stop absorbing further fragments
 // so enumeration bombs stay bounded.
 func mergeEnumerations(sents []string) []string {
-	var out []string
+	out := make([]string, 0, len(sents))
 	runLen := 0
 	for _, s := range sents {
 		trimmed := strings.TrimSpace(s)

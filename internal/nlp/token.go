@@ -76,11 +76,26 @@ func (t Token) IsPunct() bool {
 	return t.Tag == TagPunc || t.Tag == TagComa || t.Tag == TagColn || t.Tag == TagSym
 }
 
+// contractionSuffixes are the clitics Tokenize splits off; every one
+// contains an apostrophe, so words without one skip the suffix scan.
+var contractionSuffixes = [...]string{"n't", "'s", "'re", "'ve", "'ll", "'d", "'m"}
+
+// asciiTokens interns the single-character token strings so punctuation
+// tokens don't allocate.
+var asciiTokens = func() (t [128]string) {
+	for i := range t {
+		t[i] = string(rune(i))
+	}
+	return
+}()
+
 // Tokenize splits a sentence into word and punctuation tokens. Tags are
 // not assigned; see Tagger.Tag. Contractions "n't", "'s", "'re" etc. are
 // split off as separate tokens so the parser sees negation and copulas.
 func Tokenize(text string) []Token {
-	var toks []Token
+	// Typical English averages >4 bytes per token; the estimate keeps
+	// the append below from reallocating on ordinary sentences.
+	toks := make([]Token, 0, len(text)/4+2)
 	add := func(s string) {
 		if s == "" {
 			return
@@ -100,18 +115,24 @@ func Tokenize(text string) []Token {
 				j++
 			}
 			word := text[i:j]
-			// Split trailing contractions.
-			for _, suf := range []string{"n't", "'s", "'re", "'ve", "'ll", "'d", "'m"} {
-				if len(word) > len(suf) && strings.EqualFold(word[len(word)-len(suf):], suf) {
-					add(word[:len(word)-len(suf)])
-					word = word[len(word)-len(suf):]
-					break
+			// Split trailing contractions (all contain an apostrophe).
+			if strings.IndexByte(word, '\'') >= 0 {
+				for _, suf := range &contractionSuffixes {
+					if len(word) > len(suf) && strings.EqualFold(word[len(word)-len(suf):], suf) {
+						add(word[:len(word)-len(suf)])
+						word = word[len(word)-len(suf):]
+						break
+					}
 				}
 			}
 			add(word)
 			i = j
 		default:
-			add(string(c))
+			if c < 128 {
+				add(asciiTokens[c])
+			} else {
+				add(string(rune(c)))
+			}
 			i++
 		}
 	}

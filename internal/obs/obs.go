@@ -30,6 +30,17 @@ type Observer struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// counters are free-form named totals (ESA cache hits, vector-pool
+	// allocations, ...) folded into the snapshot exposition.
+	counters       sync.Map // string -> *counterCell
+	nextCounterSeq atomic.Int64
+}
+
+// counterCell is one named counter; seq fixes exposition order.
+type counterCell struct {
+	seq int64
+	val atomic.Int64
 }
 
 // Option configures an Observer.
@@ -131,6 +142,26 @@ func (o *Observer) CacheMiss() {
 	if o != nil {
 		o.cacheMisses.Add(1)
 	}
+}
+
+// AddCounter adds delta to the named counter, registering it on first
+// use. Nil-safe. Use for run-level totals that are not per-stage spans
+// — e.g. the ESA interpret-cache and vector-pool statistics the corpus
+// runners fold in at run end.
+func (o *Observer) AddCounter(name string, delta int64) {
+	if o == nil {
+		return
+	}
+	c, ok := o.counters.Load(name)
+	if !ok {
+		cell := &counterCell{seq: o.nextCounterSeq.Add(1)}
+		if prev, loaded := o.counters.LoadOrStore(name, cell); loaded {
+			c = prev
+		} else {
+			c = cell
+		}
+	}
+	c.(*counterCell).val.Add(delta)
 }
 
 // Span is one in-flight timed operation. It is a value type: starting

@@ -31,12 +31,20 @@ func (s StageSnapshot) Mean() time.Duration {
 	return s.Total / time.Duration(s.Runs)
 }
 
+// CounterSnapshot is one frozen named counter.
+type CounterSnapshot struct {
+	Name  string
+	Value int64
+}
+
 // Snapshot is a point-in-time copy of an Observer's metrics. Stages
-// appear in first-registration order, which tracks pipeline order.
+// appear in first-registration order, which tracks pipeline order;
+// Counters likewise.
 type Snapshot struct {
 	Stages      []StageSnapshot
 	CacheHits   int64
 	CacheMisses int64
+	Counters    []CounterSnapshot
 }
 
 // Snapshot freezes the Observer's counters. It is safe to call while
@@ -87,6 +95,21 @@ func (o *Observer) Snapshot() *Snapshot {
 	}
 	for _, r := range rows {
 		snap.Stages = append(snap.Stages, r.st)
+	}
+	type seqCounter struct {
+		seq int64
+		c   CounterSnapshot
+	}
+	var cs []seqCounter
+	o.counters.Range(func(k, v any) bool {
+		cell := v.(*counterCell)
+		cs = append(cs, seqCounter{seq: cell.seq,
+			c: CounterSnapshot{Name: k.(string), Value: cell.val.Load()}})
+		return true
+	})
+	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+	for _, c := range cs {
+		snap.Counters = append(snap.Counters, c.c)
 	}
 	return snap
 }
@@ -157,7 +180,26 @@ func (s *Snapshot) Render() string {
 			s.CacheHits, s.CacheMisses,
 			100*float64(s.CacheHits)/float64(s.CacheHits+s.CacheMisses))
 	}
+	if len(s.Counters) > 0 {
+		b.WriteString("run counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-28s %12d\n", c.Name, c.Value)
+		}
+	}
 	return b.String()
+}
+
+// Counter returns the value of the named counter, if present.
+func (s *Snapshot) Counter(name string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
 }
 
 // round trims durations to a readable precision for the table.

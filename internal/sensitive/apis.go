@@ -38,6 +38,19 @@ const (
 	InfoBluetooth Info = "bluetooth"
 )
 
+// AllInfos returns the full information inventory, in declaration
+// order. Callers that precompute per-information state (e.g. the
+// checker's precompiled ESA vectors) iterate this instead of
+// hard-coding the list.
+func AllInfos() []Info {
+	return []Info{
+		InfoLocation, InfoContact, InfoPhone, InfoDeviceID, InfoIPAddress,
+		InfoCookie, InfoEmail, InfoAccount, InfoCalendar, InfoCamera,
+		InfoAudio, InfoSMS, InfoCallLog, InfoAppList, InfoBrowsing,
+		InfoWifi, InfoBluetooth,
+	}
+}
+
 // API is one sensitive API with its mapping.
 type API struct {
 	Ref        dex.MethodRef

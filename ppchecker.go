@@ -245,8 +245,34 @@ func WriteReportHTML(w io.Writer, r *Report) error { return report.WriteHTML(w, 
 
 // Similarity returns the ESA semantic similarity of two resource
 // phrases in [0, 1]; phrases at or above DefaultThreshold refer to the
-// same private information.
+// same private information. Interpretations are memoized, so repeated
+// phrases across calls tokenize once per process.
 func Similarity(a, b string) float64 { return esa.Default().Similarity(a, b) }
 
 // DefaultThreshold is the similarity threshold the paper adopts (0.67).
 const DefaultThreshold = esa.DefaultThreshold
+
+// ESACacheStats is a snapshot of the ESA interpret-memo and
+// vector-pool counters (cumulative; use Sub for per-run deltas).
+type ESACacheStats = esa.CacheStats
+
+// AggregateESACacheStats returns the process-wide ESA cache counters,
+// summed over every index (the privacy KB and the description
+// profiles). Capture before and after a run and Sub the two to report
+// that run's hit rate.
+func AggregateESACacheStats() ESACacheStats { return esa.AggregateCacheStats() }
+
+// AnalysisCache is a concurrency-safe, single-flight cache of
+// library-policy analyses, shared across the checkers of a corpus run
+// so each unique policy text is analyzed once per run.
+type AnalysisCache = core.AnalysisCache
+
+// NewAnalysisCache builds an empty shared analysis cache.
+func NewAnalysisCache() *AnalysisCache { return core.NewAnalysisCache() }
+
+// WithSharedAnalysisCache makes the checker use a shared library-policy
+// analysis cache (see AnalysisCache). All checkers sharing a cache must
+// use an identical policy-analyzer configuration.
+func WithSharedAnalysisCache(c *AnalysisCache) CheckerOption {
+	return core.WithSharedAnalysisCache(c)
+}
