@@ -32,8 +32,18 @@ type AnalysisCache struct {
 	misses  atomic.Int64
 }
 
+// cacheEntry is a single-flight latch for one policy text. It is NOT
+// a sync.Once: Once marks itself done even when its function panics,
+// which would leave analysis permanently nil while every later Get
+// reports a cache hit — in a long-lived server one bad library policy
+// would poison that key forever. Instead the entry's mutex is held
+// for the duration of the compute, and a panicking compute abandons
+// the entry (failed=true, removed from the map) so the next caller
+// re-arms the key with a fresh entry.
 type cacheEntry struct {
-	once     sync.Once
+	mu       sync.Mutex
+	done     bool
+	failed   bool
 	analysis *policy.Analysis
 }
 
@@ -42,22 +52,51 @@ func NewAnalysisCache() *AnalysisCache { return &AnalysisCache{} }
 
 // Get returns the analysis for key, computing it at most once across
 // all concurrent callers. It reports whether the value was served from
-// cache (false exactly once per key, for the caller whose compute
-// ran).
+// cache (false for each caller whose compute ran — exactly once per
+// key unless a compute panics, in which case the key is re-armed and
+// a later caller computes again).
+//
+// A panic in compute propagates to its caller (the pipeline's stage
+// recovery turns it into a degraded stage); concurrent waiters on the
+// same key do not observe the panic — they retry against the re-armed
+// key, and one of them becomes the new computer.
 func (c *AnalysisCache) Get(key string, compute func() *policy.Analysis) (*policy.Analysis, bool) {
-	v, _ := c.entries.LoadOrStore(key, &cacheEntry{})
-	e := v.(*cacheEntry)
-	ran := false
-	e.once.Do(func() {
-		e.analysis = compute()
-		ran = true
-	})
-	if ran {
+	for {
+		v, _ := c.entries.LoadOrStore(key, &cacheEntry{})
+		e := v.(*cacheEntry)
+		e.mu.Lock()
+		if e.done {
+			e.mu.Unlock()
+			c.hits.Add(1)
+			return e.analysis, true
+		}
+		if e.failed {
+			// A previous computer panicked and abandoned this entry
+			// after we loaded it; it is already gone from the map.
+			// Retry: LoadOrStore will install a fresh entry.
+			e.mu.Unlock()
+			continue
+		}
+		// This caller computes, holding the entry lock so concurrent
+		// callers of the same key block until the result (or the
+		// abandonment) is decided — the single-flight property.
+		completed := false
+		func() {
+			defer func() {
+				if !completed {
+					e.failed = true
+					c.entries.CompareAndDelete(key, v)
+					e.mu.Unlock()
+				}
+			}()
+			e.analysis = compute()
+			completed = true
+		}()
+		e.done = true
+		e.mu.Unlock()
 		c.misses.Add(1)
 		return e.analysis, false
 	}
-	c.hits.Add(1)
-	return e.analysis, true
 }
 
 // Stats returns the cumulative hit and miss counts. Misses equal the

@@ -86,6 +86,90 @@ func TestAnalysisCacheOncePerUniqueText(t *testing.T) {
 	}
 }
 
+// TestAnalysisCachePanicDoesNotPoison is the regression test for the
+// cache-poisoning bug: before the fix, a panicking compute consumed
+// the entry's sync.Once, so every later Get on that key reported a
+// cache *hit* with a nil analysis, forever. The fix re-arms the key:
+// the panic propagates to the panicking caller, and the next caller
+// computes again and gets a real analysis.
+func TestAnalysisCachePanicDoesNotPoison(t *testing.T) {
+	cache := NewAnalysisCache()
+	const key = "bad library policy"
+
+	didPanic := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		cache.Get(key, func() *policy.Analysis { panic("analyzer blew up") })
+		return false
+	}()
+	if !didPanic {
+		t.Fatal("panic in compute did not propagate to the caller")
+	}
+
+	want := &policy.Analysis{}
+	got, hit := cache.Get(key, func() *policy.Analysis { return want })
+	if hit {
+		t.Fatal("Get after a panicked compute reported a cache hit (poisoned entry)")
+	}
+	if got != want {
+		t.Fatalf("Get after a panicked compute returned %v, want the recomputed analysis", got)
+	}
+	// And the recomputed value is now cached normally.
+	got, hit = cache.Get(key, func() *policy.Analysis {
+		t.Error("compute ran again for a cached key")
+		return nil
+	})
+	if !hit || got != want {
+		t.Fatalf("recomputed analysis not cached: hit=%v got=%v", hit, got)
+	}
+}
+
+// TestAnalysisCachePanicHammer runs many goroutines against one cache
+// whose compute panics intermittently, under -race: every caller must
+// either observe the panic of its own compute or receive a real
+// (non-nil) analysis — never a nil analysis served as a hit.
+func TestAnalysisCachePanicHammer(t *testing.T) {
+	cache := NewAnalysisCache()
+	const (
+		goroutines = 16
+		iters      = 300
+		keys       = 7
+	)
+	var flips atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("policy %d", (g+i)%keys)
+				func() {
+					defer func() { recover() }() // a panicked compute is this caller's problem only
+					a, hit := cache.Get(key, func() *policy.Analysis {
+						if flips.Add(1)%3 == 0 { // panic intermittently
+							panic("intermittent analyzer failure")
+						}
+						return &policy.Analysis{}
+					})
+					if a == nil {
+						t.Errorf("nil analysis from Get(%q) (hit=%v): poisoned entry", key, hit)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	// Afterwards every key must still be computable.
+	for k := 0; k < keys; k++ {
+		a, _ := cache.Get(fmt.Sprintf("policy %d", k), func() *policy.Analysis {
+			return &policy.Analysis{}
+		})
+		if a == nil {
+			t.Fatalf("key %d left permanently poisoned", k)
+		}
+	}
+}
+
 // TestSharedCacheAcrossCheckers: checkers sharing one cache reuse each
 // other's library-policy analyses instead of re-running them.
 func TestSharedCacheAcrossCheckers(t *testing.T) {

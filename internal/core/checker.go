@@ -66,6 +66,12 @@ type Checker struct {
 	// detector. A nil observer records nothing; many checkers (one per
 	// corpus worker) may share one observer.
 	obs *obs.Observer
+
+	// esaScope attributes this checker's ESA cache events (interpret
+	// memo hits/misses, pool and eviction activity) to a per-run scope,
+	// so concurrent runs sharing the process-global memo don't
+	// double-count each other's traffic. Nil records globally only.
+	esaScope *esa.StatScope
 }
 
 // CheckerOption configures a Checker.
@@ -114,6 +120,21 @@ func WithSharedAnalysisCache(cache *AnalysisCache) CheckerOption {
 	}
 }
 
+// WithESAStatScope attributes the checker's ESA cache events to a
+// per-run scope (see esa.StatScope). The corpus runner hands every
+// worker's checker the run's scope; ppserve hands its workers one
+// scope for the server's lifetime. A cache-stats delta taken from the
+// scope counts exactly this run's traffic, concurrency-safe — unlike
+// a before/after delta of esa.AggregateCacheStats, which attributes a
+// wall-clock window and double-counts concurrent runs.
+func WithESAStatScope(sc *esa.StatScope) CheckerOption {
+	return func(c *Checker) {
+		if sc != nil {
+			c.esaScope = sc
+		}
+	}
+}
+
 // WithSynonymExpansion enables the §VI extension that adds synonym
 // verbs ("display", "check", ...) to the category lists, recovering
 // the paper's reported false negatives.
@@ -146,12 +167,15 @@ func NewChecker(opts ...CheckerOption) *Checker {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.esaScope != nil {
+		c.descAnalyzer = c.descAnalyzer.WithESAStatScope(c.esaScope)
+	}
 	// Precompile the fixed phrase set the detectors compare against:
 	// every sensitive-information name gets its ESA vector once here,
 	// so the N×M similarity loops only ever interpret the per-app side.
 	c.infoVecs = make(map[string]*esa.ConceptVec, len(sensitive.AllInfos()))
 	for _, info := range sensitive.AllInfos() {
-		c.infoVecs[string(info)] = c.index.InterpretVec(string(info))
+		c.infoVecs[string(info)] = c.index.InterpretVecScoped(string(info), c.esaScope)
 	}
 	return c
 }
@@ -182,7 +206,7 @@ func (c *Checker) vec(phrase string) *esa.ConceptVec {
 	if v, ok := c.infoVecs[phrase]; ok {
 		return v
 	}
-	return c.index.InterpretVec(phrase)
+	return c.index.InterpretVecScoped(phrase, c.esaScope)
 }
 
 // similarTo reports whether info matches any phrase in set under the
@@ -193,7 +217,7 @@ func (c *Checker) vec(phrase string) *esa.ConceptVec {
 func (c *Checker) similarTo(info string, set []string) bool {
 	iv := c.vec(info)
 	for _, s := range set {
-		if esa.CosineVec(iv, c.index.InterpretVec(s)) >= c.threshold {
+		if esa.CosineVec(iv, c.index.InterpretVecScoped(s, c.esaScope)) >= c.threshold {
 			return true
 		}
 	}

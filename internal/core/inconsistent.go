@@ -70,9 +70,9 @@ func (c *Checker) detectInconsistent(app *App, r *Report) {
 // instead of once per pair.
 func (c *Checker) sharedResource(appRes, libRes []string) (string, bool) {
 	for _, ar := range appRes {
-		av := c.index.InterpretVec(ar)
+		av := c.index.InterpretVecScoped(ar, c.esaScope)
 		for _, lr := range libRes {
-			if esa.CosineVec(av, c.index.InterpretVec(lr)) >= c.threshold {
+			if esa.CosineVec(av, c.index.InterpretVecScoped(lr, c.esaScope)) >= c.threshold {
 				return ar, true
 			}
 		}

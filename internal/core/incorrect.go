@@ -71,7 +71,7 @@ func (c *Checker) negatedSentenceFor(r *Report, cat verbs.Category, info string)
 			continue
 		}
 		for _, res := range st.Resources {
-			if esa.CosineVec(iv, c.index.InterpretVec(res)) >= c.threshold {
+			if esa.CosineVec(iv, c.index.InterpretVecScoped(res, c.esaScope)) >= c.threshold {
 				return st.Sentence, true
 			}
 		}

@@ -61,12 +61,24 @@ type Result struct {
 type Analyzer struct {
 	index     *esa.Index
 	threshold float64
+	// scope attributes the analyzer's ESA cache events to a per-run
+	// stat scope (nil records globally only); see esa.StatScope.
+	scope *esa.StatScope
 }
 
 // NewAnalyzer returns an analyzer using the default ESA index and the
 // paper's 0.67 threshold.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{index: esa.Default(), threshold: esa.DefaultThreshold}
+}
+
+// WithESAStatScope returns a copy of the analyzer whose ESA cache
+// events are additionally counted on sc (the profile-index classify
+// calls included). The receiver is not modified.
+func (a *Analyzer) WithESAStatScope(sc *esa.StatScope) *Analyzer {
+	b := *a
+	b.scope = sc
+	return &b
 }
 
 // profileIndex is a dedicated ESA space over the permission profiles,
@@ -86,7 +98,7 @@ func (a *Analyzer) Analyze(description string) *Result {
 	for _, sent := range nlp.SplitSentences(description) {
 		toks := nlp.TagText(sent)
 		for _, phrase := range candidatePhrases(toks) {
-			perm, sim, support := profileIndex.ClassifyWithSupport(phrase)
+			perm, sim, support := profileIndex.ClassifyWithSupportScoped(phrase, a.scope)
 			// Two supporting terms are required: a lone generic word
 			// that happens to occur in only one profile would otherwise
 			// project onto it with cosine 1.0.

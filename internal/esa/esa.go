@@ -85,7 +85,6 @@ func New(kb []Article) *Index {
 		ps := idx.postings[t]
 		sort.Slice(ps, func(a, b int) bool { return ps[a].concept < ps[b].concept })
 	}
-	idx.initVectorPath()
 	return idx
 }
 
@@ -157,18 +156,23 @@ func (x *Index) Classify(text string) (string, float64) {
 // support count are already cached — and the winning concept index is
 // taken straight from the vector rather than re-derived from scratch.
 func (x *Index) ClassifyWithSupport(text string) (string, float64, int) {
+	return x.ClassifyWithSupportScoped(text, nil)
+}
+
+// ClassifyWithSupportScoped is ClassifyWithSupport with per-run stat
+// attribution (see StatScope). A nil scope makes it identical to
+// ClassifyWithSupport.
+func (x *Index) ClassifyWithSupportScoped(text string, sc *StatScope) (string, float64, int) {
 	var terms []string
 	v, ok := x.memo.get(text)
 	if ok {
-		x.cells.hits.Add(1)
-		globalCells.hits.Add(1)
+		x.count(sc, func(c *cacheCells) { c.hits.Add(1) })
 	} else {
-		x.cells.misses.Add(1)
-		globalCells.misses.Add(1)
+		x.count(sc, func(c *cacheCells) { c.misses.Add(1) })
 		terms = Terms(text)
-		v = x.buildVec(terms)
-		if len(text) <= memoMaxKeyLen {
-			x.memo.put(text, v, &x.cells)
+		v = x.buildVec(terms, sc)
+		if len(text) <= memoMaxKeyLen && x.memo.put(text, v) {
+			x.count(sc, func(c *cacheCells) { c.evictions.Add(1) })
 		}
 	}
 	best := top(v)

@@ -137,8 +137,50 @@ func (c *cacheCells) snapshot() CacheStats {
 var globalCells cacheCells
 
 // AggregateCacheStats returns the process-wide ESA cache counters,
-// summed over all indexes.
+// summed over all indexes. The counters are cumulative over the whole
+// process: a before/after delta attributes a window of wall-clock
+// time, not a run — two concurrent runs each see the other's activity
+// in their window. Single-run processes (the CLIs) may use the delta;
+// anything that can overlap with another run (the corpus runner under
+// ppserve, concurrent evaluations) must attribute through a StatScope
+// instead.
 func AggregateCacheStats() CacheStats { return globalCells.snapshot() }
+
+// StatScope is a per-run attribution handle for the ESA cache
+// counters. Counting sites accept an optional scope and add each
+// event to the index's own cells, the process-global cells, and the
+// scope — so a scope accumulates exactly the events caused by the
+// callers it was handed to, no matter how many other runs share the
+// process-global memo concurrently. A nil *StatScope is valid and
+// records nothing.
+//
+// The corpus runner opens one scope per run and threads it to every
+// worker's checker; ppserve opens one for the server's lifetime.
+type StatScope struct {
+	cells cacheCells
+}
+
+// NewStatScope builds an empty attribution scope.
+func NewStatScope() *StatScope { return &StatScope{} }
+
+// Snapshot returns the events attributed to this scope so far.
+// Nil-safe.
+func (s *StatScope) Snapshot() CacheStats {
+	if s == nil {
+		return CacheStats{}
+	}
+	return s.cells.snapshot()
+}
+
+// count applies one counting action to the index's cells, the
+// process-global cells, and (when non-nil) the per-run scope.
+func (x *Index) count(sc *StatScope, f func(*cacheCells)) {
+	f(&x.cells)
+	f(&globalCells)
+	if sc != nil {
+		f(&sc.cells)
+	}
+}
 
 // Interpret-memo sizing. 16 shards bound lock contention under the
 // corpus worker pool; 2048 entries per shard cap the memo at 32Ki
@@ -185,8 +227,11 @@ func (mm *interpretMemo) get(key string) (*ConceptVec, bool) {
 	return v, ok
 }
 
-func (mm *interpretMemo) put(key string, v *ConceptVec, cells *cacheCells) {
+// put inserts a vector, reporting whether an entry was evicted to
+// make room (the caller attributes the eviction to its counters).
+func (mm *interpretMemo) put(key string, v *ConceptVec) bool {
 	s := mm.shardFor(key)
+	evicted := false
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = make(map[string]*ConceptVec, memoShardCap)
@@ -194,13 +239,13 @@ func (mm *interpretMemo) put(key string, v *ConceptVec, cells *cacheCells) {
 	if _, exists := s.m[key]; !exists && len(s.m) >= memoShardCap {
 		for k := range s.m {
 			delete(s.m, k)
-			cells.evictions.Add(1)
-			globalCells.evictions.Add(1)
+			evicted = true
 			break
 		}
 	}
 	s.m[key] = v
 	s.mu.Unlock()
+	return evicted
 }
 
 // len returns the total number of memoized vectors (test hook).
@@ -227,19 +272,25 @@ func (x *Index) memoLen() int { return x.memo.len() }
 // process rather than once per call. The returned vector is shared and
 // must not be mutated.
 func (x *Index) InterpretVec(text string) *ConceptVec {
+	return x.InterpretVecScoped(text, nil)
+}
+
+// InterpretVecScoped is InterpretVec with per-run stat attribution:
+// the lookup's hit/miss (and any build-side pool or eviction events)
+// are additionally counted on sc. A nil scope makes it identical to
+// InterpretVec.
+func (x *Index) InterpretVecScoped(text string, sc *StatScope) *ConceptVec {
 	memoize := len(text) <= memoMaxKeyLen
 	if memoize {
 		if v, ok := x.memo.get(text); ok {
-			x.cells.hits.Add(1)
-			globalCells.hits.Add(1)
+			x.count(sc, func(c *cacheCells) { c.hits.Add(1) })
 			return v
 		}
 	}
-	x.cells.misses.Add(1)
-	globalCells.misses.Add(1)
-	v := x.buildVec(Terms(text))
-	if memoize {
-		x.memo.put(text, v, &x.cells)
+	x.count(sc, func(c *cacheCells) { c.misses.Add(1) })
+	v := x.buildVec(Terms(text), sc)
+	if memoize && x.memo.put(text, v) {
+		x.count(sc, func(c *cacheCells) { c.evictions.Add(1) })
 	}
 	return v
 }
@@ -249,10 +300,14 @@ func (x *Index) InterpretVec(text string) *ConceptVec {
 // vector. Additions happen in the same term/posting order as the
 // reference Interpret, so the per-concept weights are bit-identical to
 // the map path.
-func (x *Index) buildVec(terms []string) *ConceptVec {
-	x.cells.poolGets.Add(1)
-	globalCells.poolGets.Add(1)
-	sp := x.scratch.Get().(*[]float64)
+func (x *Index) buildVec(terms []string, sc *StatScope) *ConceptVec {
+	x.count(sc, func(c *cacheCells) { c.poolGets.Add(1) })
+	sp, _ := x.scratch.Get().(*[]float64)
+	if sp == nil {
+		x.count(sc, func(c *cacheCells) { c.poolNews.Add(1) })
+		s := make([]float64, len(x.concepts))
+		sp = &s
+	}
 	dense := *sp
 	for _, t := range terms {
 		for _, p := range x.postings[t] {
@@ -284,14 +339,3 @@ func (x *Index) buildVec(terms []string) *ConceptVec {
 	return v
 }
 
-// initVectorPath wires up the scratch pool; called at the end of New
-// once the concept count is known.
-func (x *Index) initVectorPath() {
-	n := len(x.concepts)
-	x.scratch.New = func() any {
-		x.cells.poolNews.Add(1)
-		globalCells.poolNews.Add(1)
-		s := make([]float64, n)
-		return &s
-	}
-}

@@ -83,13 +83,42 @@ func DefaultRunOptions() RunOptions {
 	return RunOptions{MaxRetries: 1, RetryBackoff: 50 * time.Millisecond}
 }
 
-// Per-app outcomes, mapped one-to-one onto RunStats counters.
+// Outcome classifies one app's analysis, mapped one-to-one onto the
+// RunStats counters. It is exported so request-scoped callers (the
+// ppserve analysis service) can reuse the corpus runner's per-app
+// attempt machinery — CheckApp — instead of reimplementing the
+// retry/timeout/panic contract.
+type Outcome int
+
+// Per-app outcomes.
 const (
-	outcomeChecked = iota
-	outcomeDegraded
-	outcomeFailed
-	outcomeSkipped
+	// OutcomeChecked: the full pipeline completed cleanly.
+	OutcomeChecked Outcome = iota
+	// OutcomeDegraded: the report is Partial — one or more stages
+	// failed or timed out, but the surviving findings are usable.
+	OutcomeDegraded
+	// OutcomeFailed: no usable analysis at all; the report is a stub
+	// carrying the failure as a StageRun error.
+	OutcomeFailed
+	// OutcomeSkipped: the caller's context was canceled before or
+	// during the analysis.
+	OutcomeSkipped
 )
+
+// String returns the outcome's wire name (used in ppserve responses).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeChecked:
+		return "checked"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
 
 // appJob is one unit of corpus work: an app's name and ground truth
 // plus a closure that produces its report on a worker's checker.
@@ -199,7 +228,17 @@ func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResu
 	if opts.Observer != nil {
 		checkerOpts = append(checkerOpts, core.WithObserver(opts.Observer))
 	}
-	esaBefore := esa.AggregateCacheStats()
+	// Per-run ESA stat scope: every worker's checker attributes its
+	// interpret-memo traffic here, so concurrent runs sharing the
+	// process-global memo (inevitable under ppserve) don't double-count
+	// each other's hits and misses into both -metrics expositions.
+	esaScope := esa.NewStatScope()
+	checkerOpts = append(checkerOpts, core.WithESAStatScope(esaScope))
+	attempt := AttemptOptions{
+		Timeout:      opts.PerAppTimeout,
+		MaxRetries:   opts.MaxRetries,
+		RetryBackoff: opts.RetryBackoff,
+	}
 	idxCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -208,19 +247,19 @@ func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResu
 			checker := core.NewChecker(checkerOpts...)
 			for i := range idxCh {
 				sp := opts.Observer.Start(string(core.StageRun), jobs[i].name, "")
-				rep, outcome, retries := checkOne(ctx, checker, jobs[i], opts)
+				rep, outcome, retries := CheckApp(ctx, checker, jobs[i].name, jobs[i].run, attempt)
 				sp.End(runError(rep, outcome), false)
 				res.Reports[i] = rep
 				mu.Lock()
 				stats.Retried += retries
 				switch outcome {
-				case outcomeChecked:
+				case OutcomeChecked:
 					stats.Checked++
-				case outcomeDegraded:
+				case OutcomeDegraded:
 					stats.Degraded++
-				case outcomeFailed:
+				case OutcomeFailed:
 					stats.Failed++
-				case outcomeSkipped:
+				case OutcomeSkipped:
 					stats.Skipped++
 				}
 				mu.Unlock()
@@ -245,10 +284,11 @@ feed:
 	}
 	if opts.Observer != nil {
 		// Fold the run's cache economics into the exposition: the ESA
-		// interpret memo / vector pool (process-global, so reported as a
-		// delta over the run) and the shared lib-policy cache (analyses
-		// performed must not exceed unique policy texts).
-		core.RecordESACacheCounters(opts.Observer, esa.AggregateCacheStats().Sub(esaBefore))
+		// interpret memo / vector pool (attributed per-run through the
+		// stat scope, so concurrent runs don't pollute each other) and
+		// the shared lib-policy cache (analyses performed must not
+		// exceed unique policy texts).
+		core.RecordESACacheCounters(opts.Observer, esaScope.Snapshot())
 		_, analyses := libCache.Stats()
 		opts.Observer.AddCounter("lib-policy-analyses", analyses)
 		opts.Observer.AddCounter("lib-policy-unique-texts", int64(libCache.Len()))
@@ -261,8 +301,8 @@ feed:
 // corpus-run span: hard failures and skips carry the stub's StageRun
 // error, clean and degraded runs count as successes (degradation is
 // already visible on the individual stage spans).
-func runError(rep *core.Report, outcome int) error {
-	if outcome != outcomeFailed && outcome != outcomeSkipped {
+func runError(rep *core.Report, outcome Outcome) error {
+	if outcome != OutcomeFailed && outcome != OutcomeSkipped {
 		return nil
 	}
 	for _, e := range rep.Degraded {
@@ -273,32 +313,64 @@ func runError(rep *core.Report, outcome int) error {
 	return context.Canceled
 }
 
-// checkOne analyzes one app with bounded retries. Hard failures (a
-// panic outside the pipeline's own recovery, or a per-app timeout) are
-// retried up to MaxRetries with RetryBackoff between attempts; a
-// degraded-but-complete report is an answer, not a failure, and is
-// never retried. Parent-context cancellation always wins over retry.
-func checkOne(ctx context.Context, checker *core.Checker, job appJob, opts RunOptions) (*core.Report, int, int) {
+// AttemptOptions bounds one app's analysis in CheckApp. It carries
+// the per-attempt subset of RunOptions, so a request-scoped caller
+// (ppserve) gets identical timeout/retry semantics to the corpus
+// runner.
+type AttemptOptions struct {
+	// Timeout bounds one analysis attempt (RunOptions.PerAppTimeout
+	// semantics); 0 means no bound.
+	Timeout time.Duration
+	// MaxRetries is how many extra attempts a hard failure gets.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry.
+	RetryBackoff time.Duration
+}
+
+// CheckApp analyzes one app with bounded retries — the request-scoped
+// entry point shared by the corpus runner and the ppserve service.
+// Hard failures (a panic outside the pipeline's own recovery, or a
+// per-attempt timeout that produced nothing) are retried up to
+// MaxRetries with RetryBackoff between attempts; a degraded-but-
+// complete report is an answer, not a failure, and is never retried.
+// Parent-context cancellation always wins over retry.
+//
+// The returned report is never nil: OutcomeFailed and OutcomeSkipped
+// with no partial results carry a stub holding the failure as a
+// StageRun error. A final attempt that yields a non-nil report
+// together with an error (e.g. the per-attempt timeout expired midway
+// through the pipeline) is classified OutcomeDegraded — the partial
+// findings are real and RunStats must not count them as a stub.
+func CheckApp(ctx context.Context, checker *core.Checker, name string,
+	run func(context.Context, *core.Checker) (*core.Report, error), opts AttemptOptions) (*core.Report, Outcome, int) {
 	retries := 0
 	for {
-		rep, err := attemptOnce(ctx, checker, job, opts.PerAppTimeout)
+		rep, err := attemptOnce(ctx, checker, name, run, opts.Timeout)
 		if err == nil && rep != nil {
 			if rep.Partial {
-				return rep, outcomeDegraded, retries
+				return rep, OutcomeDegraded, retries
 			}
-			return rep, outcomeChecked, retries
+			return rep, OutcomeChecked, retries
 		}
 		if ctx.Err() != nil {
 			if rep == nil {
-				rep = stubReport(job.name, ctx.Err())
+				rep = stubReport(name, ctx.Err())
 			}
-			return rep, outcomeSkipped, retries
+			return rep, OutcomeSkipped, retries
 		}
 		if retries >= opts.MaxRetries {
-			if rep == nil {
-				rep = stubReport(job.name, err)
+			if rep != nil {
+				// The last attempt produced a usable (if partial)
+				// report: classify Degraded, not Failed, so the real
+				// findings land in the report slot instead of being
+				// treated as a stub. A complete report that still came
+				// with an error records it as a StageRun degradation.
+				if !rep.Partial {
+					rep.AddDegraded(&core.StageError{Stage: core.StageRun, App: name, Err: err})
+				}
+				return rep, OutcomeDegraded, retries
 			}
-			return rep, outcomeFailed, retries
+			return stubReport(name, err), OutcomeFailed, retries
 		}
 		retries++
 		if opts.RetryBackoff > 0 {
@@ -306,18 +378,19 @@ func checkOne(ctx context.Context, checker *core.Checker, job appJob, opts RunOp
 			case <-time.After(opts.RetryBackoff):
 			case <-ctx.Done():
 				if rep == nil {
-					rep = stubReport(job.name, ctx.Err())
+					rep = stubReport(name, ctx.Err())
 				}
-				return rep, outcomeSkipped, retries
+				return rep, OutcomeSkipped, retries
 			}
 		}
 	}
 }
 
-// attemptOnce runs one analysis attempt under the per-app timeout,
+// attemptOnce runs one analysis attempt under the per-attempt timeout,
 // converting any panic that escapes the job into an error so a single
 // bad app cannot kill its worker goroutine.
-func attemptOnce(ctx context.Context, checker *core.Checker, job appJob, timeout time.Duration) (rep *core.Report, err error) {
+func attemptOnce(ctx context.Context, checker *core.Checker, name string,
+	run func(context.Context, *core.Checker) (*core.Report, error), timeout time.Duration) (rep *core.Report, err error) {
 	actx := ctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -326,10 +399,10 @@ func attemptOnce(ctx context.Context, checker *core.Checker, job appJob, timeout
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			rep, err = nil, fmt.Errorf("app %s: worker panic: %v", job.name, r)
+			rep, err = nil, fmt.Errorf("app %s: worker panic: %v", name, r)
 		}
 	}()
-	return job.run(actx, checker)
+	return run(actx, checker)
 }
 
 // stubReport stands in for an app that produced no report at all, so

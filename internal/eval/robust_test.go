@@ -3,10 +3,15 @@ package eval
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"ppchecker/internal/bundle"
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/obs"
+	"ppchecker/internal/policy"
 	"ppchecker/internal/synth"
 )
 
@@ -135,8 +140,12 @@ func TestRobustMidRunCancel(t *testing.T) {
 	}
 }
 
-// TestRobustPerAppTimeoutRetries: an unmeetable per-app timeout makes
-// every app fail after its bounded retries, with the attempts counted.
+// TestRobustPerAppTimeoutRetries: an unmeetable per-app timeout
+// exhausts every app's bounded retries, with the attempts counted.
+// The final attempt still yields a (fully degraded) partial report,
+// so the apps are classified Degraded — not Failed with their real
+// partial report mislabeled as a stub. Before the outcome-
+// classification fix this run reported 8 failed / 0 degraded.
 func TestRobustPerAppTimeoutRetries(t *testing.T) {
 	ds := robustDataset(t)
 	ds.Apps = ds.Apps[:8]
@@ -150,15 +159,119 @@ func TestRobustPerAppTimeoutRetries(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parent context not canceled, err = %v", err)
 	}
-	if stats.Failed != len(ds.Apps) {
-		t.Fatalf("want %d failed: %s", len(ds.Apps), stats.Render())
+	if stats.Degraded != len(ds.Apps) || stats.Failed != 0 {
+		t.Fatalf("want %d degraded, 0 failed: %s", len(ds.Apps), stats.Render())
 	}
 	if stats.Retried != len(ds.Apps)*opts.MaxRetries {
 		t.Fatalf("want %d retries: %s", len(ds.Apps)*opts.MaxRetries, stats.Render())
 	}
 	for _, rep := range res.Reports {
 		if rep == nil || !rep.Partial {
-			t.Fatal("failed app without a partial report")
+			t.Fatal("degraded app without a partial report")
 		}
+	}
+}
+
+// TestCheckAppFinalAttemptPartialIsDegraded is the focused regression
+// test for the outcome-misclassification bug: when the last attempt
+// returns a non-nil partial report together with an error, CheckApp
+// must classify it Degraded and hand back the real report, not count
+// it Failed as if the slot held a stub.
+func TestCheckAppFinalAttemptPartialIsDegraded(t *testing.T) {
+	checker := core.NewChecker()
+	partial := &core.Report{App: "x", Policy: &policy.Analysis{}}
+	partial.AddDegraded(&core.StageError{Stage: core.StageStatic, App: "x", Err: errors.New("stage blew up")})
+	attempts := 0
+	rep, outcome, retries := CheckApp(context.Background(), checker, "x",
+		func(context.Context, *core.Checker) (*core.Report, error) {
+			attempts++
+			return partial, errors.New("attempt error")
+		}, AttemptOptions{MaxRetries: 1})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one retry)", attempts)
+	}
+	if outcome != OutcomeDegraded {
+		t.Fatalf("outcome = %v, want OutcomeDegraded", outcome)
+	}
+	if rep != partial {
+		t.Fatal("the real partial report was replaced by a stub")
+	}
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+
+	// A nil report on the last attempt is still a hard failure.
+	rep, outcome, _ = CheckApp(context.Background(), checker, "y",
+		func(context.Context, *core.Checker) (*core.Report, error) {
+			return nil, errors.New("nothing produced")
+		}, AttemptOptions{})
+	if outcome != OutcomeFailed || rep == nil || !rep.Partial {
+		t.Fatalf("nil-report failure: outcome=%v rep=%v", outcome, rep)
+	}
+
+	// A complete (non-partial) report that still came with an error
+	// records the error as a StageRun degradation rather than dropping
+	// it.
+	complete := &core.Report{App: "z", Policy: &policy.Analysis{}}
+	rep, outcome, _ = CheckApp(context.Background(), checker, "z",
+		func(context.Context, *core.Checker) (*core.Report, error) {
+			return complete, errors.New("late deadline")
+		}, AttemptOptions{})
+	if outcome != OutcomeDegraded || !rep.Partial || !rep.DegradedStage(core.StageRun) {
+		t.Fatalf("complete-report-with-error: outcome=%v partial=%v", outcome, rep.Partial)
+	}
+}
+
+// TestConcurrentRunsESAStatAttribution is the regression test for the
+// cache-stats double-counting bug: the old implementation attributed a
+// before/after delta of the process-global ESA counters to each run,
+// so two concurrent runs counted each other's interpret-memo traffic
+// into both -metrics expositions. With per-run stat scopes, each
+// run's exposition counts exactly its own lookups: the two runs'
+// totals sum to the global delta instead of roughly doubling it.
+func TestConcurrentRunsESAStatAttribution(t *testing.T) {
+	ds := robustDataset(t)
+	ds.Apps = ds.Apps[:40]
+	run := func(obsv *obs.Observer) RunStats {
+		_, stats, err := EvaluateCorpusRobust(context.Background(), ds,
+			RunOptions{Workers: 2, Observer: obsv})
+		if err != nil {
+			t.Error(err)
+		}
+		return stats
+	}
+
+	globalBefore := esa.AggregateCacheStats()
+	obsA, obsB := obs.New(), obs.New()
+	var statsA, statsB RunStats
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); statsA = run(obsA) }()
+	go func() { defer wg.Done(); statsB = run(obsB) }()
+	wg.Wait()
+	globalDelta := esa.AggregateCacheStats().Sub(globalBefore)
+
+	lookups := func(s RunStats) int64 {
+		t.Helper()
+		hits, ok := s.Metrics.Counter("esa-interpret-hits")
+		if !ok {
+			t.Fatal("esa-interpret-hits missing from run metrics")
+		}
+		misses, ok := s.Metrics.Counter("esa-interpret-misses")
+		if !ok {
+			t.Fatal("esa-interpret-misses missing from run metrics")
+		}
+		return hits + misses
+	}
+	la, lb := lookups(statsA), lookups(statsB)
+	if la == 0 || lb == 0 {
+		t.Fatalf("a run attributed zero ESA lookups: %d, %d", la, lb)
+	}
+	// The two runs are the only ESA users in this window, so their
+	// attributed lookups must exactly partition the global delta. The
+	// old delta-of-globals attribution reported roughly 2x the global
+	// total here.
+	if got, want := la+lb, globalDelta.Hits+globalDelta.Misses; got != want {
+		t.Fatalf("per-run lookups sum to %d, global delta is %d (double counting?)", got, want)
 	}
 }

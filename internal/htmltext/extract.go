@@ -9,6 +9,7 @@ package htmltext
 
 import (
 	"strings"
+	"unicode/utf8"
 )
 
 // blockTags are elements whose boundaries imply a text break. Without
@@ -147,26 +148,39 @@ func parseEntity(html string, i int) (string, int) {
 	}
 	body := html[i+1 : end]
 	if strings.HasPrefix(body, "#") {
-		// Numeric entity: keep printable ASCII only.
-		var code int
+		// Numeric character reference. The reference is parsed byte by
+		// byte — iterating runes and truncating with byte(r) would let a
+		// multibyte rune alias an ASCII digit (e.g. U+0141 truncates to
+		// 'A' and would parse as hex 10) — and the resulting code point
+		// is validated like the stdlib does: surrogate halves
+		// (0xD800–0xDFFF) and values above 0x10FFFF clamp to
+		// utf8.RuneError rather than reaching string(rune(code)), so the
+		// decoder can never emit invalid UTF-8.
+		code := 0
 		numeric := body[1:]
 		base := 10
 		if strings.HasPrefix(numeric, "x") || strings.HasPrefix(numeric, "X") {
 			base = 16
 			numeric = numeric[1:]
 		}
-		for _, r := range numeric {
-			d := digitVal(byte(r), base)
+		if numeric == "" {
+			return "", end + 1
+		}
+		for j := 0; j < len(numeric); j++ {
+			d := digitVal(numeric[j], base)
 			if d < 0 {
 				return "", end + 1
 			}
-			code = code*base + d
-			if code > 0x10FFFF {
-				return "", end + 1
+			if code <= 0x10FFFF { // saturate instead of overflowing
+				code = code*base + d
 			}
 		}
-		if code >= 32 && code < 127 {
-			return string(rune(code)), end + 1
+		r := rune(code)
+		if !utf8.ValidRune(r) {
+			r = utf8.RuneError
+		}
+		if r >= 32 && r < 127 { // keep printable ASCII only
+			return string(r), end + 1
 		}
 		return " ", end + 1
 	}

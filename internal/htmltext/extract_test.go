@@ -120,3 +120,45 @@ func TestExtractTotalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNumericReferenceValidation is the regression suite for the NCR
+// decoder: surrogate halves and out-of-range code points must clamp to
+// utf8.RuneError (which the ASCII filter then drops), never reach
+// string(rune(code)); digits are parsed bytewise so a multibyte rune
+// can never alias an ASCII digit.
+func TestNumericReferenceValidation(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // decoded text, before Scrub
+	}{
+		{"&#65;", "A"},
+		{"&#x41;", "A"},
+		{"&#X41;", "A"},
+		{"&#xD800;", " "},    // high surrogate → RuneError → dropped to space
+		{"&#xDFFF;", " "},    // low surrogate
+		{"&#55296;", " "},    // 0xD800 in decimal
+		{"&#x110000;", " "},  // beyond the Unicode range
+		{"&#x10FFFF;", " "},  // max valid code point, non-ASCII → space
+		{"&#xFFFD;", " "},    // RuneError itself, non-ASCII → space
+		{"&#xŁ1;", ""},       // U+0141: byte-truncation would alias hex 'A'
+		{"&#１2;", ""},        // U+FF11 fullwidth ONE must not parse as a digit
+		{"&#x;", ""},         // no digits
+		{"&#;", ""},          // no digits
+		{"&#xG;", ""},        // bad digit
+	}
+	for _, c := range cases {
+		got, _ := parseEntity(c.in, 0)
+		if got != c.want {
+			t.Errorf("parseEntity(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNumericReferenceSaturation: a long digit string cannot wrap int
+// and sneak back into the valid range.
+func TestNumericReferenceSaturation(t *testing.T) {
+	got, _ := parseEntity("&#9999999;", 0)
+	if got != " " {
+		t.Errorf("parseEntity(&#9999999;) = %q, want a soft space", got)
+	}
+}

@@ -26,6 +26,14 @@ func FuzzHTMLExtract(f *testing.F) {
 	f.Add("<script>unclosed")
 	f.Add("<!-- unterminated comment")
 	f.Add("&#x110000;&bogus;&")
+	// Surrogate halves and just-out-of-range code points: both must
+	// clamp to utf8.RuneError internally, never reach string(rune(..)).
+	f.Add("&#xD800;&#xDFFF;&#x110000;")
+	f.Add("&#55296;") // 0xD800 in decimal
+	// Multibyte runes inside the digits: parsed bytewise, these must be
+	// rejected, not truncated into ASCII digit aliases.
+	f.Add("&#xŁ1;&#１2;")
+	f.Add("&#x;&#;")
 	f.Add("< div")
 	f.Fuzz(func(t *testing.T, html string) {
 		text := htmltext.Extract(html)

@@ -164,6 +164,27 @@ func (o *Observer) AddCounter(name string, delta int64) {
 	c.(*counterCell).val.Add(delta)
 }
 
+// SetCounter stores an absolute value into the named counter,
+// registering it on first use. Nil-safe. Use for gauges whose source
+// of truth lives elsewhere (cache sizes, per-scope cache stats) that
+// a long-lived exposition like ppserve's /metrics re-publishes on
+// every scrape — AddCounter would compound them scrape over scrape.
+func (o *Observer) SetCounter(name string, v int64) {
+	if o == nil {
+		return
+	}
+	c, ok := o.counters.Load(name)
+	if !ok {
+		cell := &counterCell{seq: o.nextCounterSeq.Add(1)}
+		if prev, loaded := o.counters.LoadOrStore(name, cell); loaded {
+			c = prev
+		} else {
+			c = cell
+		}
+	}
+	c.(*counterCell).val.Store(v)
+}
+
 // Span is one in-flight timed operation. It is a value type: starting
 // and ending a span performs no heap allocation.
 type Span struct {

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTryAcquireBounds pins the admission accounting: the queue never
+// admits beyond QueueDepth, batch acquisition is all-or-nothing, and
+// released capacity is reusable.
+func TestTryAcquireBounds(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 3})
+	if !s.tryAcquire(2) {
+		t.Fatal("2 of 3 refused")
+	}
+	if s.tryAcquire(2) {
+		t.Fatal("admitted 4 into a queue of 3")
+	}
+	if !s.tryAcquire(1) {
+		t.Fatal("the last slot refused")
+	}
+	if s.tryAcquire(1) {
+		t.Fatal("admitted past a full queue")
+	}
+	s.release(3)
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("queue len after release = %d", got)
+	}
+	if !s.tryAcquire(3) {
+		t.Fatal("released capacity not reusable")
+	}
+}
+
+// TestCheckOverflowIs429 holds the whole admission budget (as in-flight
+// analyses would) and confirms a /check arriving on a full queue is
+// rejected with 429 — and succeeds again once capacity frees up. The
+// budget is held directly so the outcome is deterministic instead of
+// racing real analyses against the HTTP round trip.
+func TestCheckOverflowIs429(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	if !s.tryAcquire(s.opts.QueueDepth) {
+		t.Fatal("could not saturate the queue")
+	}
+	body, _ := json.Marshal(CheckRequest{
+		Name:       "com.example.overflow",
+		PolicyHTML: "<p>We collect your location data.</p>",
+	})
+	url := "http://" + s.Addr() + "/check"
+
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status = %d, want 429", resp.StatusCode)
+	}
+
+	s.release(s.opts.QueueDepth)
+	resp, err = http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr CheckResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || cr.Outcome != "checked" {
+		t.Fatalf("after release: status %d, outcome %q, err %v", resp.StatusCode, cr.Outcome, err)
+	}
+}

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/eval"
+	"ppchecker/internal/obs"
+	"ppchecker/internal/report"
+)
+
+// Options configures the analysis service.
+type Options struct {
+	// Workers is the size of the checker pool; <= 0 means GOMAXPROCS.
+	// Each worker owns one core.Checker (a Checker is not safe for
+	// concurrent use); all workers share the server's AnalysisCache,
+	// observer and ESA stat scope.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unfinished apps
+	// across all requests; <= 0 means 4x workers. Admission beyond the
+	// bound is rejected with 429 rather than queued.
+	QueueDepth int
+	// PerAppTimeout bounds one analysis attempt, with
+	// eval.RunOptions.PerAppTimeout semantics; 0 means no bound.
+	PerAppTimeout time.Duration
+	// MaxRetries is how many extra attempts a hard failure gets.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry.
+	RetryBackoff time.Duration
+	// MaxBodyBytes bounds a request body; <= 0 means 64 MiB.
+	MaxBodyBytes int64
+	// CheckerOptions configure the per-worker checkers (threshold,
+	// extensions, ...). The shared cache, observer and stat scope are
+	// appended by the server.
+	CheckerOptions []core.CheckerOption
+	// Observer instruments the server; nil constructs a fresh one.
+	// The /metrics endpoint renders its snapshot.
+	Observer *obs.Observer
+}
+
+// withDefaults fills the zero fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.Observer == nil {
+		o.Observer = obs.New()
+	}
+	return o
+}
+
+// result is one finished analysis.
+type result struct {
+	rep     *core.Report
+	outcome eval.Outcome
+	retries int
+}
+
+// job is one admitted app: the request context travels with it so a
+// canceled request is skipped cheaply instead of analyzed for nobody.
+type job struct {
+	ctx  context.Context
+	name string
+	app  *core.App
+	done chan result // buffered(1): the worker's send never blocks
+}
+
+// Server is the long-lived analysis service. Construct with New,
+// start with Start, stop with Shutdown. The server's cache state —
+// the shared library-policy AnalysisCache and the process-global ESA
+// interpret memo — lives for the server's whole lifetime and warms
+// monotonically across requests; this is safe precisely because the
+// caches re-arm poisoned entries instead of serving them (see
+// core.AnalysisCache.Get).
+type Server struct {
+	opts     Options
+	libCache *core.AnalysisCache
+	esaScope *esa.StatScope
+	obs      *obs.Observer
+
+	jobs    chan *job
+	mu      sync.Mutex // guards queued
+	queued  int
+	workers sync.WaitGroup
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+	ln       net.Listener
+	started  time.Time
+}
+
+// New builds a server (not yet listening).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		libCache: core.NewAnalysisCache(),
+		esaScope: esa.NewStatScope(),
+		obs:      opts.Observer,
+		jobs:     make(chan *job, opts.QueueDepth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/check", s.handleCheck)
+	mux.HandleFunc("/check-batch", s.handleCheckBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	// net/http/pprof registers on the default mux (imported via obs);
+	// expose it under the same listener.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Start begins serving on ln: the worker pool spins up (each worker
+// builds its checker against the shared caches) and the HTTP server
+// accepts in a background goroutine. Start returns immediately.
+func (s *Server) Start(ln net.Listener) {
+	s.ln = ln
+	s.started = time.Now()
+	checkerOpts := append(append([]core.CheckerOption{}, s.opts.CheckerOptions...),
+		core.WithSharedAnalysisCache(s.libCache),
+		core.WithObserver(s.obs),
+		core.WithESAStatScope(s.esaScope))
+	attempt := eval.AttemptOptions{
+		Timeout:      s.opts.PerAppTimeout,
+		MaxRetries:   s.opts.MaxRetries,
+		RetryBackoff: s.opts.RetryBackoff,
+	}
+	for w := 0; w < s.opts.Workers; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			checker := core.NewChecker(checkerOpts...)
+			for j := range s.jobs {
+				sp := s.obs.Start(string(core.StageRun), j.name, "")
+				rep, outcome, retries := eval.CheckApp(j.ctx, checker, j.name,
+					func(ctx context.Context, c *core.Checker) (*core.Report, error) {
+						return c.CheckSafe(ctx, j.app)
+					}, attempt)
+				sp.End(spanError(rep, outcome), false)
+				s.obs.AddCounter("serve-requests-"+outcome.String(), 1)
+				s.release(1)
+				j.done <- result{rep: rep, outcome: outcome, retries: retries}
+			}
+		}()
+	}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: admission stops (healthz turns 503,
+// /check turns 503), every in-flight request runs to completion and
+// gets its response, then the workers exit. ctx bounds the drain; on
+// expiry the remaining handlers are abandoned and Shutdown returns
+// ctx's error. No accepted request is ever dropped by a drain that
+// completes within its bound.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// http.Server.Shutdown stops the listener and waits until every
+	// active handler — each blocked on its job's result — returns.
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// The drain bound expired with handlers still in flight; those
+		// handlers may yet submit, so the queue must stay open. The
+		// caller is about to exit the process anyway.
+		return err
+	}
+	// No handler can submit anymore: stop the workers.
+	close(s.jobs)
+	s.workers.Wait()
+	return nil
+}
+
+// tryAcquire admits n apps if the queue has room for all of them.
+func (s *Server) tryAcquire(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued+n > s.opts.QueueDepth {
+		return false
+	}
+	s.queued += n
+	return true
+}
+
+func (s *Server) release(n int) {
+	s.mu.Lock()
+	s.queued -= n
+	s.mu.Unlock()
+}
+
+// QueueLen returns the number of admitted-but-unfinished apps.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// submit queues one admitted app. The queue channel's capacity equals
+// QueueDepth, so a successful tryAcquire guarantees the send does not
+// block.
+func (s *Server) submit(ctx context.Context, req *CheckRequest, app *core.App) *job {
+	j := &job{ctx: ctx, name: req.Name, app: app, done: make(chan result, 1)}
+	s.jobs <- j
+	return j
+}
+
+// handleCheck analyzes one app bundle.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req CheckRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	app, err := req.App()
+	if err != nil {
+		s.obs.AddCounter("serve-requests-badbundle", 1)
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if !s.tryAcquire(1) {
+		s.obs.AddCounter("serve-requests-rejected", 1)
+		writeError(w, http.StatusTooManyRequests, "analysis queue is full")
+		return
+	}
+	res := <-s.submit(r.Context(), &req, app).done
+	writeJSON(w, statusFor(res.outcome), checkResponse(&req, res))
+}
+
+// handleCheckBatch analyzes a list of bundles as one admission unit:
+// either the whole batch fits in the queue or the request is rejected
+// with 429.
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var batch BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(batch.Apps) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	apps := make([]*core.App, len(batch.Apps))
+	for i := range batch.Apps {
+		app, err := batch.Apps[i].App()
+		if err != nil {
+			s.obs.AddCounter("serve-requests-badbundle", 1)
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("app %d (%s): %s", i, batch.Apps[i].Name, err))
+			return
+		}
+		apps[i] = app
+	}
+	if !s.tryAcquire(len(apps)) {
+		s.obs.AddCounter("serve-requests-rejected", 1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("batch of %d does not fit the analysis queue", len(apps)))
+		return
+	}
+	jobs := make([]*job, len(apps))
+	for i, app := range apps {
+		jobs[i] = s.submit(r.Context(), &batch.Apps[i], app)
+	}
+	resp := BatchResponse{Apps: make([]CheckResponse, len(jobs))}
+	resp.Stats.Apps = len(jobs)
+	for i, j := range jobs {
+		res := <-j.done
+		resp.Apps[i] = checkResponse(&batch.Apps[i], res)
+		resp.Stats.Retried += res.retries
+		switch res.outcome {
+		case eval.OutcomeChecked:
+			resp.Stats.Checked++
+		case eval.OutcomeDegraded:
+			resp.Stats.Degraded++
+		case eval.OutcomeFailed:
+			resp.Stats.Failed++
+		case eval.OutcomeSkipped:
+			resp.Stats.Skipped++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so
+// load balancers stop routing to it while in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the obs exposition: the per-stage table plus
+// the server's cache-lifetime gauges (set, not added, so repeated
+// scrapes don't compound them).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.publishCacheGauges()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "uptime: %s\nqueue: %d of %d\n",
+		time.Since(s.started).Round(time.Second), s.QueueLen(), s.opts.QueueDepth)
+	fmt.Fprint(w, s.obs.Snapshot().Render())
+}
+
+// publishCacheGauges refreshes the cache-economics counters from their
+// sources of truth: the server-lifetime ESA stat scope and the shared
+// library-policy cache (analyses performed must never exceed unique
+// policy texts seen across all requests).
+func (s *Server) publishCacheGauges() {
+	d := s.esaScope.Snapshot()
+	s.obs.SetCounter("esa-interpret-hits", d.Hits)
+	s.obs.SetCounter("esa-interpret-misses", d.Misses)
+	s.obs.SetCounter("esa-interpret-evictions", d.Evictions)
+	s.obs.SetCounter("esa-vec-pool-gets", d.PoolGets)
+	s.obs.SetCounter("esa-vec-pool-allocs", d.PoolNews)
+	_, analyses := s.libCache.Stats()
+	s.obs.SetCounter("lib-policy-analyses", analyses)
+	s.obs.SetCounter("lib-policy-unique-texts", int64(s.libCache.Len()))
+}
+
+// Metrics returns the current snapshot with the cache gauges
+// refreshed (the programmatic form of /metrics, used by cmd/ppserve's
+// shutdown flush).
+func (s *Server) Metrics() *obs.Snapshot {
+	s.publishCacheGauges()
+	return s.obs.Snapshot()
+}
+
+// checkResponse shapes one finished analysis for the wire.
+func checkResponse(req *CheckRequest, res result) CheckResponse {
+	return CheckResponse{
+		Name:    req.Name,
+		Outcome: res.outcome.String(),
+		Retries: res.retries,
+		Report:  report.FromReport(res.rep),
+	}
+}
+
+// statusFor maps an outcome to the /check status code: completed
+// analyses (even degraded ones) are 200 — the report says what
+// degraded — a stub with no findings is 500, and a request whose
+// context died before or during analysis is 503.
+func statusFor(o eval.Outcome) int {
+	switch o {
+	case eval.OutcomeChecked, eval.OutcomeDegraded:
+		return http.StatusOK
+	case eval.OutcomeSkipped:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// spanError mirrors the corpus runner's StageRun span contract: hard
+// failures and skips carry the stub's StageRun error; clean and
+// degraded analyses count as successes.
+func spanError(rep *core.Report, outcome eval.Outcome) error {
+	if outcome != eval.OutcomeFailed && outcome != eval.OutcomeSkipped {
+		return nil
+	}
+	for _, e := range rep.Degraded {
+		if e.Stage == core.StageRun {
+			return e
+		}
+	}
+	return errors.New(outcome.String())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

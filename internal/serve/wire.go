@@ -1,0 +1,113 @@
+// Package serve is the long-lived analysis service behind cmd/ppserve:
+// an HTTP front end over the robust single-app pipeline
+// (eval.CheckApp → core.CheckSafe) that keeps one shared
+// core.AnalysisCache and the warm process-global ESA interpret memo
+// alive across every request for the whole server lifetime.
+//
+// Endpoints:
+//
+//	POST /check        one app bundle in, one JSON report out
+//	POST /check-batch  a list of bundles in, per-app reports + counts out
+//	GET  /healthz      liveness ("ok", or "draining" with 503)
+//	GET  /metrics      the obs exposition (per-stage table + run counters)
+//	GET  /debug/pprof  net/http/pprof
+//
+// Admission is bounded: a worker pool of Options.Workers checkers
+// drains a queue of at most Options.QueueDepth outstanding apps, and
+// requests that would exceed the queue are rejected with 429 instead
+// of piling up. Shutdown stops admission, finishes every in-flight
+// request, then stops the workers — no accepted request is dropped.
+package serve
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/report"
+)
+
+// CheckRequest is one app bundle on the wire — the JSON counterpart
+// of the on-disk bundle layout (policy.html, description.txt,
+// app.apk, libs). The APK rides along base64-encoded in the container
+// format apk.Encode produces; it is optional, as are the description
+// and library policies.
+type CheckRequest struct {
+	// Name is the app's package name.
+	Name string `json:"name"`
+	// PolicyHTML is the privacy policy (HTML or plain text).
+	PolicyHTML string `json:"policy_html"`
+	// Description is the store description, optional.
+	Description string `json:"description,omitempty"`
+	// APKBase64 is the base64-encoded APK container, optional.
+	APKBase64 string `json:"apk_base64,omitempty"`
+	// LibPolicies maps a library name to its policy text, optional.
+	LibPolicies map[string]string `json:"lib_policies,omitempty"`
+}
+
+// App converts the wire bundle into a pipeline input. A malformed APK
+// is a request error (the client sent bytes it believes are an APK),
+// not a degraded stage: the caller maps it to 422.
+func (r *CheckRequest) App() (*core.App, error) {
+	app := &core.App{
+		Name:        r.Name,
+		PolicyHTML:  r.PolicyHTML,
+		Description: r.Description,
+		LibPolicies: r.LibPolicies,
+	}
+	if r.APKBase64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(r.APKBase64)
+		if err != nil {
+			return nil, fmt.Errorf("apk_base64: %w", err)
+		}
+		a, err := apk.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("apk_base64: %w", err)
+		}
+		app.APK = a
+	}
+	return app, nil
+}
+
+// CheckResponse is the result for one app.
+type CheckResponse struct {
+	Name string `json:"name"`
+	// Outcome is the eval.Outcome wire name: "checked", "degraded",
+	// "failed" or "skipped".
+	Outcome string `json:"outcome"`
+	// Retries counts extra attempts spent on this app.
+	Retries int `json:"retries,omitempty"`
+	// Report is the full JSON report document (the same shape
+	// ppchecker -json emits). For "failed" it is the stub report
+	// carrying the failure as a StageRun error.
+	Report *report.Document `json:"report"`
+}
+
+// BatchRequest is the /check-batch input.
+type BatchRequest struct {
+	Apps []CheckRequest `json:"apps"`
+}
+
+// BatchStats summarizes a batch the way eval.RunStats partitions a
+// corpus: Apps = Checked + Degraded + Failed + Skipped.
+type BatchStats struct {
+	Apps     int `json:"apps"`
+	Checked  int `json:"checked"`
+	Degraded int `json:"degraded"`
+	Failed   int `json:"failed"`
+	Skipped  int `json:"skipped"`
+	Retried  int `json:"retried"`
+}
+
+// BatchResponse is the /check-batch output; Apps is index-aligned
+// with the request's list.
+type BatchResponse struct {
+	Apps  []CheckResponse `json:"apps"`
+	Stats BatchStats      `json:"stats"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

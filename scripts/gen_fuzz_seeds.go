@@ -122,6 +122,8 @@ func writeHTMLSeeds() {
 	emit("unclosed-script", "<script>unclosed")
 	emit("unterminated-comment", "<!-- unterminated comment")
 	emit("bad-entities", "&#x110000;&bogus;&")
+	emit("surrogate-ncr", "&#xD800;&#xDFFF;&#55296;&#x110000;")
+	emit("multibyte-ncr-digits", "&#xŁ1;&#１2;&#x;&#;")
 	emit("space-tag", "< div")
 }
 
