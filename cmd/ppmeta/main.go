@@ -1,0 +1,284 @@
+// Command ppmeta drives the metamorphic correctness harness from the
+// command line: deterministic invariance sweeps, replay of committed
+// case files, and divergence minimization.
+//
+//	ppmeta sweep   -count 60 -stride 6 -step-seeds 1 -chain-len 3
+//	ppmeta replay  testdata/metatest/*.json
+//	ppmeta replay  -dir testdata/metatest
+//	ppmeta shrink  -app 1 -chain "tag-churn:5,plant-negate-statement:2" -o repro.json
+//	ppmeta transforms
+//
+// Everything is deterministic in (corpus seed, app index, chain):
+// rerunning a command reproduces the same findings byte for byte.
+//
+// Exit codes: 0 success / invariant held, 1 divergence or expectation
+// mismatch, 2 usage or runtime error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppchecker/internal/metatest"
+)
+
+const (
+	exitOK       = 0
+	exitDiverged = 1
+	exitError    = 2
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(exitError)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var code int
+	switch cmd {
+	case "sweep":
+		code = runSweep(args)
+	case "replay":
+		code = runReplay(args)
+	case "shrink":
+		code = runShrink(args)
+	case "transforms":
+		code = runTransforms(args)
+	default:
+		fmt.Fprintf(os.Stderr, "ppmeta: unknown command %q\n", cmd)
+		usage()
+		code = exitError
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ppmeta <command> [flags]
+
+commands:
+  sweep       run the invariance sweep over a synthetic corpus sample
+  replay      replay committed case files and check their expectations
+  shrink      minimize a divergent transform chain to a case file
+  transforms  list the transform catalog
+
+run "ppmeta <command> -h" for per-command flags
+`)
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "ppmeta: %v\n", err)
+	return exitError
+}
+
+// corpusFlags are the coordinates every subcommand shares.
+type corpusFlags struct {
+	seed *int64
+	apps *int
+}
+
+func addCorpusFlags(fs *flag.FlagSet) corpusFlags {
+	return corpusFlags{
+		seed: fs.Int64("seed", 11, "synthetic corpus generation seed"),
+		apps: fs.Int("apps", 0, "corpus size (0 = synth.MinApps)"),
+	}
+}
+
+func (c corpusFlags) harness() (*metatest.Harness, error) {
+	return metatest.NewHarness(*c.seed, *c.apps)
+}
+
+func parseSeedList(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad step seed %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runSweep(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	corpus := addCorpusFlags(fs)
+	var (
+		count     = fs.Int("count", 60, "apps to sample")
+		stride    = fs.Int("stride", 6, "sampling stride over the corpus")
+		stepSeeds = fs.String("step-seeds", "1", "comma-separated per-step seeds")
+		chainLen  = fs.Int("chain-len", 3, "length of the per-app composite chain (0 = none)")
+		esaPairs  = fs.Int("esa-pairs", 0, "also run the ESA vec/map differential over this many phrase pairs")
+		asJSON    = fs.Bool("json", false, "emit the sweep stats as JSON")
+	)
+	fs.Parse(args)
+	seeds, err := parseSeedList(*stepSeeds)
+	if err != nil {
+		return fail(err)
+	}
+	h, err := corpus.harness()
+	if err != nil {
+		return fail(err)
+	}
+	cfg := metatest.SweepConfig{AppCount: *count, Stride: *stride, StepSeeds: seeds, ChainLen: *chainLen}
+	stats, err := h.Sweep(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	var esaDivs []metatest.Divergence
+	if *esaPairs > 0 {
+		esaDivs = h.ESACheck(cfg.AppIndices(h.Len()), 200, *esaPairs)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			*metatest.SweepStats
+			ESADivergences []metatest.Divergence `json:"esa_divergences,omitempty"`
+		}{stats, esaDivs})
+	} else {
+		fmt.Printf("sweep: %d apps x %d transforms, %d runs, %d applications, %d divergent\n",
+			stats.Apps, stats.Transforms, stats.Runs, stats.Applied, len(stats.Divergent))
+		for _, d := range stats.Divergent {
+			fmt.Printf("  app %d (%s) chain %s [%s]: %v\n",
+				d.AppIndex, d.AppName, metatest.FormatChain(d.Chain), d.Invariant, d.Divergences)
+		}
+		for _, d := range esaDivs {
+			fmt.Printf("  esa: %s\n", d)
+		}
+	}
+	if len(stats.Divergent) > 0 || len(esaDivs) > 0 {
+		return exitDiverged
+	}
+	return exitOK
+}
+
+func runReplay(args []string) int {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := fs.String("dir", "", "replay every *.json case in this directory")
+	fs.Parse(args)
+	var cases []*metatest.Case
+	if *dir != "" {
+		cs, err := metatest.LoadCases(*dir)
+		if err != nil {
+			return fail(err)
+		}
+		cases = cs
+	}
+	for _, path := range fs.Args() {
+		c, err := metatest.LoadCase(path)
+		if err != nil {
+			return fail(err)
+		}
+		cases = append(cases, c)
+	}
+	if len(cases) == 0 {
+		return fail(fmt.Errorf("no cases: pass file paths or -dir"))
+	}
+	code := exitOK
+	for _, c := range cases {
+		res, matched, err := c.Run()
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", c.Path, err))
+		}
+		status := "ok"
+		if !matched {
+			status = "MISMATCH"
+			code = exitDiverged
+		}
+		fmt.Printf("%-10s %s: app %d chain %s expect %s diverged=%v\n",
+			status, c.Path, c.AppIndex, metatest.FormatChain(c.Chain), c.Expect, res.Diverged())
+		if !matched {
+			for _, d := range res.Divergences {
+				fmt.Printf("           %s\n", d)
+			}
+		}
+	}
+	return code
+}
+
+func runShrink(args []string) int {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	corpus := addCorpusFlags(fs)
+	var (
+		app      = fs.Int("app", -1, "corpus app index the chain diverges on")
+		chainStr = fs.String("chain", "", "transform chain, e.g. \"tag-churn:5,para-reorder:17\"")
+		out      = fs.String("o", "", "write the minimized case to this JSON file (default stdout)")
+		note     = fs.String("note", "", "note recorded in the case file")
+	)
+	fs.Parse(args)
+	if *app < 0 || *chainStr == "" {
+		return fail(fmt.Errorf("shrink needs -app and -chain"))
+	}
+	chain, err := metatest.ParseChain(*chainStr)
+	if err != nil {
+		return fail(err)
+	}
+	h, err := corpus.harness()
+	if err != nil {
+		return fail(err)
+	}
+	full, err := h.RunChain(*app, chain)
+	if err != nil {
+		return fail(err)
+	}
+	if !full.Diverged() {
+		fmt.Fprintf(os.Stderr, "ppmeta: chain %s does not diverge on app %d; nothing to shrink\n",
+			metatest.FormatChain(chain), *app)
+		return exitDiverged
+	}
+	min, res, err := h.Shrink(*app, chain)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("shrunk %d -> %d steps: %s\n", len(chain), len(min), metatest.FormatChain(min))
+	for _, d := range res.Divergences {
+		fmt.Printf("  %s\n", d)
+	}
+	c := &metatest.Case{
+		Version:    metatest.CaseVersion,
+		Note:       *note,
+		CorpusSeed: *corpus.seed,
+		NumApps:    *corpus.apps,
+		AppIndex:   *app,
+		Chain:      min,
+		Expect:     metatest.ExpectDiverge,
+	}
+	if *out != "" {
+		if err := c.Write(*out); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		data, _ := json.MarshalIndent(c, "", "  ")
+		fmt.Println(string(data))
+	}
+	return exitOK
+}
+
+func runTransforms(args []string) int {
+	fs := flag.NewFlagSet("transforms", flag.ExitOnError)
+	fs.Parse(args)
+	fmt.Println("semantics-preserving transforms:")
+	for _, tr := range metatest.All() {
+		flags := ""
+		if tr.NeedsSynonyms {
+			flags = " (synonym-expanded checker)"
+		}
+		fmt.Printf("  %-18s %-16s %s%s\n", tr.Name, "["+tr.Invariant.String()+"]", tr.Doc, flags)
+	}
+	fmt.Println("planted (intentionally divergent) transforms:")
+	for _, tr := range metatest.Planted() {
+		fmt.Printf("  %-18s %-16s %s\n", tr.Name, "["+tr.Invariant.String()+"]", tr.Doc)
+	}
+	return exitOK
+}

@@ -1,0 +1,118 @@
+package metatest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Expectation values for a case file.
+const (
+	ExpectHold    = "hold"    // the invariant must hold (no divergences)
+	ExpectDiverge = "diverge" // the chain must reproduce a divergence
+)
+
+// Case is a replayable (and committable) metamorphic test case: corpus
+// coordinates, one app, a transform chain, and the expected outcome.
+// Divergent cases are minimized repros promoted into
+// testdata/metatest/; hold cases pin that long benign chains stay
+// invariant.
+type Case struct {
+	Version    int    `json:"version"`
+	Note       string `json:"note,omitempty"`
+	CorpusSeed int64  `json:"corpus_seed"`
+	NumApps    int    `json:"num_apps"`
+	AppIndex   int    `json:"app_index"`
+	Chain      []Step `json:"chain"`
+	Expect     string `json:"expect"`
+
+	// Path is where the case was loaded from (not serialized).
+	Path string `json:"-"`
+}
+
+// CaseVersion is the current case-file schema version.
+const CaseVersion = 1
+
+// Validate checks the structural invariants of a case.
+func (c *Case) Validate() error {
+	if c.Version != CaseVersion {
+		return fmt.Errorf("metatest: case version %d (want %d)", c.Version, CaseVersion)
+	}
+	if c.Expect != ExpectHold && c.Expect != ExpectDiverge {
+		return fmt.Errorf("metatest: case expect %q (want %q or %q)", c.Expect, ExpectHold, ExpectDiverge)
+	}
+	if len(c.Chain) == 0 {
+		return fmt.Errorf("metatest: case has an empty chain")
+	}
+	for _, s := range c.Chain {
+		if _, ok := Lookup(s.Name); !ok {
+			return fmt.Errorf("metatest: case uses unknown transform %q", s.Name)
+		}
+	}
+	return nil
+}
+
+// LoadCase reads and validates one case file.
+func LoadCase(path string) (*Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("metatest: %s: %w", path, err)
+	}
+	c.Path = path
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// LoadCases reads every *.json case in a directory, sorted by name.
+func LoadCases(dir string) ([]*Case, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	cases := make([]*Case, 0, len(paths))
+	for _, p := range paths {
+		c, err := LoadCase(p)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// Write serializes the case as indented JSON.
+func (c *Case) Write(path string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Run replays the case against its own corpus coordinates (harness
+// instances are shared per corpus) and reports whether the outcome
+// matches the expectation.
+func (c *Case) Run() (*ChainResult, bool, error) {
+	h, err := SharedHarness(c.CorpusSeed, c.NumApps)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := h.RunChain(c.AppIndex, c.Chain)
+	if err != nil {
+		return nil, false, err
+	}
+	want := c.Expect == ExpectDiverge
+	return res, res.Diverged() == want, nil
+}

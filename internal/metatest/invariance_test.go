@@ -1,0 +1,75 @@
+package metatest
+
+import (
+	"os"
+	"testing"
+)
+
+// Corpus coordinates shared by the whole suite: same seed as the
+// golden-report suite so the two harnesses pin the same corpus.
+const (
+	testCorpusSeed = 11
+	testNumApps    = 0 // synth.MinApps
+)
+
+func testHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := SharedHarness(testCorpusSeed, testNumApps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// sweepConfig sizes the invariance sweep. Short mode still meets the
+// acceptance floor (>= 8 transform classes over >= 50 apps); the full
+// matrix (nightly, or METATEST_FULL=1) widens apps, seeds, and chain
+// composition.
+func sweepConfig(t *testing.T) SweepConfig {
+	full := os.Getenv("METATEST_FULL") != "" || !testing.Short()
+	if full {
+		return SweepConfig{AppCount: 134, Stride: 3, StepSeeds: []int64{1, 2, 3}, ChainLen: 4}
+	}
+	return SweepConfig{AppCount: 60, Stride: 6, StepSeeds: []int64{1}, ChainLen: 3}
+}
+
+// TestMetamorphicInvariance is the tentpole gate: every
+// semantics-preserving transform (alone and composed) must leave the
+// checker's findings unchanged under its declared invariant, across a
+// corpus sample covering every planted verdict class.
+func TestMetamorphicInvariance(t *testing.T) {
+	h := testHarness(t)
+	cfg := sweepConfig(t)
+	stats, err := h.Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transforms < 8 {
+		t.Errorf("only %d transform classes in the sweep, want >= 8", stats.Transforms)
+	}
+	if stats.Apps < 50 {
+		t.Errorf("only %d apps in the sweep, want >= 50", stats.Apps)
+	}
+	if stats.Applied == 0 {
+		t.Error("no transform ever applied — the sweep tested nothing")
+	}
+	t.Logf("sweep: %d apps x %d transforms, %d runs, %d applications",
+		stats.Apps, stats.Transforms, stats.Runs, stats.Applied)
+	for _, d := range stats.Divergent {
+		t.Errorf("app %d (%s) chain %s [%s]: %d divergences, first: %s",
+			d.AppIndex, d.AppName, FormatChain(d.Chain), d.Invariant,
+			len(d.Divergences), d.Divergences[0])
+	}
+}
+
+// TestESADifferential cross-checks the vectorized ESA path against the
+// retained map-path reference over phrases the corpus actually
+// produces.
+func TestESADifferential(t *testing.T) {
+	h := testHarness(t)
+	apps := SweepConfig{AppCount: 20, Stride: 17}.AppIndices(h.Len())
+	divs := h.ESACheck(apps, 120, 2000)
+	for _, d := range divs {
+		t.Errorf("%s", d)
+	}
+}

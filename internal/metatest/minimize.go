@@ -1,0 +1,37 @@
+package metatest
+
+import "fmt"
+
+// Shrink reduces a divergent chain to a locally-minimal one: no single
+// step can be removed without the divergence disappearing. The greedy
+// left-to-right scan restarts after every successful removal, so the
+// result is a deterministic function of (corpus, app, chain). It
+// errors if the input chain does not diverge in the first place.
+func (h *Harness) Shrink(appIdx int, chain []Step) ([]Step, *ChainResult, error) {
+	res, err := h.RunChain(appIdx, chain)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Diverged() {
+		return nil, res, fmt.Errorf("metatest: chain %s holds on app %d; nothing to shrink",
+			FormatChain(chain), appIdx)
+	}
+	cur := append([]Step(nil), chain...)
+	for improved := true; improved && len(cur) > 1; {
+		improved = false
+		for i := range cur {
+			cand := make([]Step, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			r, err := h.RunChain(appIdx, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r.Diverged() {
+				cur, res, improved = cand, r, true
+				break
+			}
+		}
+	}
+	return cur, res, nil
+}

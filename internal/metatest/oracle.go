@@ -1,0 +1,155 @@
+package metatest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+)
+
+// Divergence is one structural difference between the original and the
+// transformed report.
+type Divergence struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (d Divergence) String() string { return d.Kind + ": " + d.Detail }
+
+// DiffReports diffs two reports structurally under the invariant:
+// degradation surface (Partial flag, failed stages), the three finding
+// lists, and the document-level disclaimer flag. InvIdentical compares
+// findings as ordered sequences; InvUpToSentence compares them as
+// multisets with cited-sentence text masked.
+func DiffReports(orig, tr *core.Report, inv Invariant) []Divergence {
+	var divs []Divergence
+	if orig.Partial != tr.Partial {
+		divs = append(divs, Divergence{"degraded",
+			fmt.Sprintf("partial: %v vs %v (stages %v vs %v)",
+				orig.Partial, tr.Partial, stageNames(orig), stageNames(tr))})
+	} else if a, b := fmt.Sprint(stageNames(orig)), fmt.Sprint(stageNames(tr)); a != b {
+		divs = append(divs, Divergence{"degraded", fmt.Sprintf("stages %s vs %s", a, b)})
+	}
+	if orig.Policy != nil && tr.Policy != nil && orig.Policy.Disclaimer != tr.Policy.Disclaimer {
+		divs = append(divs, Divergence{"disclaimer",
+			fmt.Sprintf("disclaimer flag %v vs %v", orig.Policy.Disclaimer, tr.Policy.Disclaimer)})
+	}
+	ok, tk := findingKeys(orig, inv), findingKeys(tr, inv)
+	if inv == InvIdentical {
+		for i := 0; i < len(ok) || i < len(tk); i++ {
+			switch {
+			case i >= len(ok):
+				divs = append(divs, Divergence{"extra-finding", tk[i]})
+			case i >= len(tk):
+				divs = append(divs, Divergence{"missing-finding", ok[i]})
+			case ok[i] != tk[i]:
+				divs = append(divs, Divergence{"finding-order",
+					fmt.Sprintf("position %d: %q vs %q", i, ok[i], tk[i])})
+			}
+		}
+		return divs
+	}
+	counts := map[string]int{}
+	for _, k := range ok {
+		counts[k]++
+	}
+	for _, k := range tk {
+		counts[k]--
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch n := counts[k]; {
+		case n > 0:
+			divs = append(divs, Divergence{"missing-finding", fmt.Sprintf("%s (x%d)", k, n)})
+		case n < 0:
+			divs = append(divs, Divergence{"extra-finding", fmt.Sprintf("%s (x%d)", k, -n)})
+		}
+	}
+	return divs
+}
+
+func stageNames(r *core.Report) []string {
+	names := make([]string, 0, len(r.Degraded))
+	for _, e := range r.Degraded {
+		names = append(names, string(e.Stage))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// findingKeys renders every finding as a comparable key. Under
+// InvUpToSentence the cited sentence text is masked: a transform that
+// rewrites or reorders sentences may change which equivalent sentence
+// is cited, but never the finding itself.
+func findingKeys(r *core.Report, inv Invariant) []string {
+	keys := make([]string, 0, len(r.Incomplete)+len(r.Incorrect)+len(r.Inconsistent))
+	for _, f := range r.Incomplete {
+		keys = append(keys, fmt.Sprintf("incomplete|%v|%s|perms=%v|retained=%v|sources=%v",
+			f.Via, f.Info, f.Permissions, f.Retained, f.Sources))
+	}
+	for _, f := range r.Incorrect {
+		s := f.Sentence
+		if inv >= InvUpToSentence {
+			s = "*"
+		}
+		keys = append(keys, fmt.Sprintf("incorrect|%v|%s|%s|%s|sent=%q",
+			f.Via, f.Info, f.Category, f.Evidence, s))
+	}
+	for _, f := range r.Inconsistent {
+		s := f.AppSentence
+		if inv >= InvUpToSentence {
+			s = "*"
+		}
+		keys = append(keys, fmt.Sprintf("inconsistent|%s|%s|%s|lib=%q|sent=%q",
+			f.Category, f.Resource, f.LibName, f.LibSentence, s))
+	}
+	return keys
+}
+
+// ESADifferential cross-checks the vectorized ESA path against the
+// retained map-path reference over the given phrases: every
+// interpretation must carry identical weights, and every pairwise
+// cosine must agree within tol. Pairs are walked in order up to
+// maxPairs so a big phrase set stays bounded.
+func ESADifferential(x *esa.Index, phrases []string, maxPairs int, tol float64) []Divergence {
+	var divs []Divergence
+	maps := make([]esa.Vector, len(phrases))
+	vecs := make([]*esa.ConceptVec, len(phrases))
+	for i, ph := range phrases {
+		maps[i] = x.Interpret(ph)
+		vecs[i] = x.InterpretVec(ph)
+		got := vecs[i].Map()
+		if len(got) != len(maps[i]) {
+			divs = append(divs, Divergence{"esa-weights",
+				fmt.Sprintf("%q: %d concepts (vec) vs %d (map)", ph, len(got), len(maps[i]))})
+			continue
+		}
+		for c, w := range maps[i] {
+			if got[c] != w {
+				divs = append(divs, Divergence{"esa-weights",
+					fmt.Sprintf("%q concept %d: %g (vec) vs %g (map)", ph, c, got[c], w)})
+				break
+			}
+		}
+	}
+	pairs := 0
+	for i := 0; i < len(phrases) && pairs < maxPairs; i++ {
+		for j := i + 1; j < len(phrases) && pairs < maxPairs; j++ {
+			pairs++
+			ref := esa.Cosine(maps[i], maps[j])
+			vec := esa.CosineVec(vecs[i], vecs[j])
+			if math.Abs(ref-vec) > tol {
+				divs = append(divs, Divergence{"esa-cosine",
+					fmt.Sprintf("%q vs %q: %.17g (vec) != %.17g (map)",
+						phrases[i], phrases[j], vec, ref)})
+			}
+		}
+	}
+	return divs
+}

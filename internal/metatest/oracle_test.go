@@ -1,0 +1,95 @@
+package metatest
+
+import (
+	"strings"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/verbs"
+)
+
+func reportWith(incorrect ...core.IncorrectFinding) *core.Report {
+	return &core.Report{
+		App:       "app",
+		Incorrect: incorrect,
+		Policy:    &policy.Analysis{},
+	}
+}
+
+func TestDiffReportsEqual(t *testing.T) {
+	a := reportWith(core.IncorrectFinding{Category: verbs.Collect, Sentence: "s1", Evidence: "e"})
+	b := reportWith(core.IncorrectFinding{Category: verbs.Collect, Sentence: "s1", Evidence: "e"})
+	for _, inv := range []Invariant{InvIdentical, InvUpToSentence} {
+		if divs := DiffReports(a, b, inv); len(divs) != 0 {
+			t.Errorf("%s: equal reports diverge: %v", inv, divs)
+		}
+	}
+}
+
+func TestDiffReportsSentenceMasking(t *testing.T) {
+	a := reportWith(core.IncorrectFinding{Category: verbs.Collect, Sentence: "we will not collect x.", Evidence: "e"})
+	b := reportWith(core.IncorrectFinding{Category: verbs.Collect, Sentence: "we do not collect x.", Evidence: "e"})
+	if divs := DiffReports(a, b, InvIdentical); len(divs) == 0 {
+		t.Error("identical invariant missed a sentence-text change")
+	}
+	if divs := DiffReports(a, b, InvUpToSentence); len(divs) != 0 {
+		t.Errorf("up-to-sentence invariant flagged a masked change: %v", divs)
+	}
+}
+
+func TestDiffReportsOrderSensitivity(t *testing.T) {
+	f1 := core.IncorrectFinding{Category: verbs.Collect, Sentence: "s", Evidence: "e1"}
+	f2 := core.IncorrectFinding{Category: verbs.Retain, Sentence: "s", Evidence: "e2"}
+	a, b := reportWith(f1, f2), reportWith(f2, f1)
+	if divs := DiffReports(a, b, InvIdentical); len(divs) == 0 {
+		t.Error("identical invariant missed a reorder")
+	}
+	if divs := DiffReports(a, b, InvUpToSentence); len(divs) != 0 {
+		t.Errorf("multiset compare flagged a pure reorder: %v", divs)
+	}
+}
+
+func TestDiffReportsMissingAndExtra(t *testing.T) {
+	f1 := core.IncorrectFinding{Category: verbs.Collect, Sentence: "s", Evidence: "e1"}
+	f2 := core.IncorrectFinding{Category: verbs.Retain, Sentence: "s", Evidence: "e2"}
+	divs := DiffReports(reportWith(f1), reportWith(f2), InvUpToSentence)
+	var kinds []string
+	for _, d := range divs {
+		kinds = append(kinds, d.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "missing-finding") || !strings.Contains(joined, "extra-finding") {
+		t.Errorf("kinds = %v, want one missing and one extra", kinds)
+	}
+}
+
+func TestDiffReportsDegradation(t *testing.T) {
+	a := reportWith()
+	b := reportWith()
+	b.AddDegraded(&core.StageError{Stage: core.StagePolicy, App: "app"})
+	divs := DiffReports(a, b, InvUpToSentence)
+	if len(divs) == 0 || divs[0].Kind != "degraded" {
+		t.Errorf("divs = %v, want a degraded divergence", divs)
+	}
+}
+
+func TestESADifferentialCleanOnRealIndex(t *testing.T) {
+	phrases := []string{
+		"location information", "contact list", "device identifier",
+		"email address", "phone number", "browsing history",
+	}
+	if divs := ESADifferential(esa.Default(), phrases, 100, 1e-12); len(divs) != 0 {
+		t.Errorf("vec/map paths disagree: %v", divs)
+	}
+}
+
+func TestESADifferentialCatchesMismatch(t *testing.T) {
+	// A deliberately tight tolerance of -1 forces every pair to
+	// "mismatch", proving the check is not vacuously green.
+	phrases := []string{"location information", "contact list"}
+	if divs := ESADifferential(esa.Default(), phrases, 10, -1); len(divs) == 0 {
+		t.Error("impossible tolerance produced no divergence; the pair loop is dead")
+	}
+}

@@ -1,0 +1,197 @@
+package metatest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/metatest seed cases")
+
+const seedDir = "testdata/metatest"
+
+// seedSpecs declare the committed seed corpus: diverge cases start
+// from a planted fixture chain and are minimized before being written;
+// hold cases pin long benign chains. Regenerate with
+//
+//	go test ./internal/metatest -run TestSeedCorpus -update
+type seedSpec struct {
+	file     string
+	note     string
+	appIndex int
+	chain    []Step
+	expect   string
+}
+
+func seedSpecs() []seedSpec {
+	return []seedSpec{
+		{
+			file:     "diverge_drop_statement.json",
+			note:     "plant-drop-statement buried in benign formatting churn, minimized",
+			appIndex: 1,
+			chain: []Step{
+				{Name: "whitespace-churn", Seed: 7},
+				{Name: "case-churn", Seed: 11},
+				{Name: "plant-drop-statement", Seed: 3},
+				{Name: "ncr-recode", Seed: 13},
+				{Name: "para-reorder", Seed: 17},
+			},
+			expect: ExpectDiverge,
+		},
+		{
+			file:     "diverge_negate_statement.json",
+			note:     "plant-negate-statement buried in benign formatting churn, minimized",
+			appIndex: 1,
+			chain: []Step{
+				{Name: "tag-churn", Seed: 5},
+				{Name: "plant-negate-statement", Seed: 2},
+				{Name: "entity-recode", Seed: 19},
+				{Name: "inline-noise", Seed: 23},
+			},
+			expect: ExpectDiverge,
+		},
+		{
+			file:     "hold_formatting_chain.json",
+			note:     "every formatting-identity transform composed; findings must be byte-identical",
+			appIndex: 42,
+			chain: []Step{
+				{Name: "tag-churn", Seed: 1},
+				{Name: "inline-noise", Seed: 2},
+				{Name: "whitespace-churn", Seed: 3},
+				{Name: "case-churn", Seed: 4},
+				{Name: "ncr-recode", Seed: 5},
+				{Name: "entity-recode", Seed: 6},
+			},
+			expect: ExpectHold,
+		},
+		{
+			file:     "hold_semantic_chain.json",
+			note:     "reorder + verb synonyms + list rewrite; findings equal up to sentence text",
+			appIndex: 120,
+			chain: []Step{
+				{Name: "para-reorder", Seed: 9},
+				{Name: "verb-synonym", Seed: 10},
+				{Name: "list-rewrite", Seed: 11},
+				{Name: "negation-style", Seed: 12},
+			},
+			expect: ExpectHold,
+		},
+	}
+}
+
+// regenerateSeeds rebuilds the committed case files: diverge chains
+// are shrunk to their minimal repro first (mirroring what cmd/ppmeta
+// shrink emits), hold chains are verified and written as-is.
+func regenerateSeeds(t *testing.T) {
+	h := testHarness(t)
+	if err := os.MkdirAll(seedDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range seedSpecs() {
+		chain := spec.chain
+		if spec.expect == ExpectDiverge {
+			min, res, err := h.Shrink(spec.appIndex, spec.chain)
+			if err != nil {
+				t.Fatalf("%s: shrink: %v", spec.file, err)
+			}
+			if !res.Diverged() {
+				t.Fatalf("%s: minimized chain no longer diverges", spec.file)
+			}
+			chain = min
+		}
+		c := &Case{
+			Version:    CaseVersion,
+			Note:       spec.note,
+			CorpusSeed: testCorpusSeed,
+			NumApps:    testNumApps,
+			AppIndex:   spec.appIndex,
+			Chain:      chain,
+			Expect:     spec.expect,
+		}
+		if res, matched, err := c.Run(); err != nil {
+			t.Fatalf("%s: %v", spec.file, err)
+		} else if !matched {
+			t.Fatalf("%s: outcome %v does not match expectation %s",
+				spec.file, res.Divergences, spec.expect)
+		}
+		path := filepath.Join(seedDir, spec.file)
+		if err := c.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (chain %s)", path, FormatChain(chain))
+	}
+}
+
+// TestSeedCorpus replays every committed testdata/metatest case and
+// checks the recorded expectation still holds. Run with -update to
+// re-minimize and rewrite the corpus after intentional behavior
+// changes (mirrors the golden-report workflow).
+func TestSeedCorpus(t *testing.T) {
+	if *update {
+		regenerateSeeds(t)
+	}
+	cases, err := LoadCases(seedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 3 {
+		t.Fatalf("seed corpus has %d cases, want >= 3 (run with -update?)", len(cases))
+	}
+	var divergeSeen, holdSeen bool
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.Path), func(t *testing.T) {
+			res, matched, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matched {
+				t.Errorf("chain %s on app %d: diverged=%v, expected %s\ndivergences: %v",
+					FormatChain(c.Chain), c.AppIndex, res.Diverged(), c.Expect, res.Divergences)
+			}
+			if c.Expect == ExpectDiverge {
+				divergeSeen = true
+				if len(c.Chain) > 2 {
+					t.Errorf("committed diverge case has %d steps; re-minimize with -update", len(c.Chain))
+				}
+			} else {
+				holdSeen = true
+			}
+		})
+	}
+	if !divergeSeen || !holdSeen {
+		t.Errorf("seed corpus must contain both diverge and hold cases (diverge=%v hold=%v)",
+			divergeSeen, holdSeen)
+	}
+}
+
+// TestSeedCaseValidation covers the case-file schema guards.
+func TestSeedCaseValidation(t *testing.T) {
+	good := &Case{Version: CaseVersion, CorpusSeed: 1, AppIndex: 0,
+		Chain: []Step{{Name: "tag-churn", Seed: 1}}, Expect: ExpectHold}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid case rejected: %v", err)
+	}
+	bad := []*Case{
+		{Version: 99, Chain: good.Chain, Expect: ExpectHold},
+		{Version: CaseVersion, Chain: good.Chain, Expect: "maybe"},
+		{Version: CaseVersion, Chain: nil, Expect: ExpectHold},
+		{Version: CaseVersion, Chain: []Step{{Name: "nope", Seed: 1}}, Expect: ExpectHold},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad case %d accepted", i)
+		}
+	}
+	if _, err := LoadCase(filepath.Join(seedDir, "no-such-case.json")); err == nil {
+		t.Error("missing case file loaded")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCases(dir); err == nil {
+		t.Error("malformed case file accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package metatest
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ppchecker/internal/htmltext"
+	"ppchecker/internal/patterns"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/verbs"
+)
+
+func TestParseParasRoundTrip(t *testing.T) {
+	html := renderParas([]string{"We may collect your location data.", "We take your privacy very seriously."})
+	paras, ok := parseParas(html)
+	if !ok || len(paras) != 2 {
+		t.Fatalf("parseParas = %v, %v", paras, ok)
+	}
+	if renderParas(paras) != html {
+		t.Error("render/parse round trip not stable")
+	}
+}
+
+func TestParseParasOnSynthCorpus(t *testing.T) {
+	h := testHarness(t)
+	for _, i := range []int{0, 50, 180, 195, 239, 315, 399} {
+		paras, ok := parseParas(h.App(i).PolicyHTML)
+		if !ok || len(paras) == 0 {
+			t.Errorf("app %d: synth policy did not parse", i)
+		}
+	}
+}
+
+func TestParseParasRejectsNested(t *testing.T) {
+	if _, ok := parseParas("<p>outer <b>inner</b></p>"); ok {
+		t.Error("nested markup accepted")
+	}
+	if _, ok := parseParas("no paragraphs at all"); ok {
+		t.Error("paragraph-free text accepted")
+	}
+}
+
+// Every transform's output must stay parseable, so chains compose.
+func TestTransformOutputsStayParseable(t *testing.T) {
+	h := testHarness(t)
+	html := h.App(3).PolicyHTML
+	for _, tr := range append(All(), Planted()...) {
+		out, changed := tr.Apply(html, rand.New(rand.NewSource(9)))
+		if !changed {
+			continue
+		}
+		if _, ok := parseParas(out); !ok {
+			t.Errorf("%s output is not parseable by the paragraph model", tr.Name)
+		}
+	}
+}
+
+// The catalog floor: the acceptance criteria demand >= 8 semantics-
+// preserving transform classes plus planted fixtures.
+func TestTransformCatalog(t *testing.T) {
+	if n := len(All()); n < 8 {
+		t.Errorf("catalog has %d non-planted transforms, want >= 8", n)
+	}
+	if n := len(Planted()); n < 2 {
+		t.Errorf("catalog has %d planted transforms, want >= 2", n)
+	}
+	for _, tr := range All() {
+		if tr.Doc == "" {
+			t.Errorf("%s has no doc string", tr.Name)
+		}
+	}
+}
+
+// Identity-class transforms must leave the *extracted text* unchanged
+// up to whitespace normalization — a sharper oracle than report
+// equality for the pure-formatting transforms.
+func TestIdenticalTransformsPreserveExtractedText(t *testing.T) {
+	h := testHarness(t)
+	// Extraction is case-preserving (the pipeline lowercases later, in
+	// SplitSentences), so the comparison folds case as well as space.
+	norm := func(s string) string { return strings.ToLower(strings.Join(strings.Fields(s), " ")) }
+	for _, tr := range All() {
+		if tr.Invariant != InvIdentical {
+			continue
+		}
+		for _, appIdx := range []int{2, 180, 315} {
+			html := h.App(appIdx).PolicyHTML
+			out, changed := tr.Apply(html, rand.New(rand.NewSource(4)))
+			if !changed {
+				continue
+			}
+			a, b := norm(htmltext.Extract(html)), norm(htmltext.Extract(out))
+			// tag-churn rewrites the (skipped) head/title, which never
+			// reaches extraction; everything visible must match.
+			if a != b {
+				t.Errorf("%s app %d: extracted text changed\n orig: %.120q\ntrans: %.120q",
+					tr.Name, appIdx, a, b)
+			}
+		}
+	}
+}
+
+// Pool safety: every replacement verb must produce the same statement
+// (category, polarity, resource) in the standard frames under the
+// matcher the transform targets.
+func TestVerbPoolsPreserveStatements(t *testing.T) {
+	analyzers := map[string]*policy.Analyzer{
+		"core": policy.NewAnalyzer(),
+		"ext":  policy.NewAnalyzer(policy.WithMatcher(patterns.ExtendedMatcher())),
+	}
+	pools := map[string]map[verbs.Category][]string{"core": corePools, "ext": extPools}
+	for variant, pool := range pools {
+		an := analyzers[variant]
+		for cat, vs := range pool {
+			for _, v := range vs {
+				for _, frame := range []string{
+					"We may %s your location data.",
+					"We will not %s your location data.",
+					"Your location data may be %s by us.",
+				} {
+					verb := v
+					if strings.Contains(frame, "be %s") {
+						verb = pastParticiple(v)
+					}
+					sent := fmt.Sprintf(frame, verb)
+					res := an.AnalyzeHTML("<html><body><p>" + sent + "</p></body></html>")
+					var got []policy.Statement
+					for _, st := range res.Statements {
+						if st.Category != verbs.None {
+							got = append(got, st)
+						}
+					}
+					if len(got) != 1 {
+						t.Errorf("[%s] %q: %d categorized statements, want 1", variant, sent, len(got))
+						continue
+					}
+					st := got[0]
+					wantNeg := strings.Contains(frame, "not")
+					if st.Category != cat || st.Negative != wantNeg {
+						t.Errorf("[%s] %q: category %s negative %v, want %s %v",
+							variant, sent, st.Category, st.Negative, cat, wantNeg)
+					}
+					found := false
+					for _, r := range st.Resources {
+						if strings.Contains(r, "location data") {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("[%s] %q: resources %v lost the object", variant, sent, st.Resources)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChainFormatRoundTrip(t *testing.T) {
+	chain := []Step{{Name: "tag-churn", Seed: 42}, {Name: "para-reorder", Seed: -7}}
+	got, err := ParseChain(FormatChain(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, chain) {
+		t.Errorf("round trip = %v, want %v", got, chain)
+	}
+	if _, err := ParseChain("no-such-transform:1"); err == nil {
+		t.Error("unknown transform accepted")
+	}
+	if _, err := ParseChain("tag-churn"); err == nil {
+		t.Error("seedless step accepted")
+	}
+}
+
+func TestChainInvariantIsWeakest(t *testing.T) {
+	if inv := ChainInvariant([]Step{{Name: "tag-churn"}, {Name: "ncr-recode"}}); inv != InvIdentical {
+		t.Errorf("formatting chain invariant = %s", inv)
+	}
+	if inv := ChainInvariant([]Step{{Name: "tag-churn"}, {Name: "para-reorder"}}); inv != InvUpToSentence {
+		t.Errorf("mixed chain invariant = %s", inv)
+	}
+}

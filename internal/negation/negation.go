@@ -68,7 +68,16 @@ func IsNegative(p *nlp.Parse) bool {
 // the predicate at idx, following xcomp chains so "we are unable to
 // collect" and "we refuse to share" are caught.
 func rootNegations(p *nlp.Parse, idx int) int {
-	count := len(p.NegDeps(idx))
+	count := 0
+	for _, d := range p.NegDeps(idx) {
+		// The correlative "not only ... but (also)" is additive, not
+		// negating: "we will not only collect X but also Y" asserts
+		// both conjuncts.
+		if p.Tokens[d].Lower == "not" && d+1 < len(p.Tokens) && p.Tokens[d+1].Lower == "only" {
+			continue
+		}
+		count++
+	}
 	w := p.Tokens[idx].Lower
 	if negVerbs[nlp.Lemma(w)] || negAdjectives[w] {
 		count++

@@ -76,3 +76,38 @@ func TestContainsNegation(t *testing.T) {
 		t.Fatal("punctuated negation missed")
 	}
 }
+
+// TestIsNegativeScopeEdges pins the scope decisions the metamorphic
+// negation-neutral transform relies on: negation inside a subordinate
+// clause must not flip the main predicate, negation on the main verb
+// must, and the correlative "not only ... but also" idiom is additive,
+// not negating.
+func TestIsNegativeScopeEdges(t *testing.T) {
+	cases := []struct {
+		sent string
+		want bool
+	}{
+		// Negation confined to a subordinate (constraint) clause.
+		{"if you do not agree, we will collect your location information.", false},
+		{"we collect your location when you do not disable gps.", false},
+		{"unless you opt out, we will share your data with our partners.", false},
+		// Negation on the main verb, with a subordinate clause present.
+		{"we will not collect your location if you disable gps.", true},
+		{"when you register, we will never share your contacts.", true},
+		// The "not only ... but also" correlative is not a negation.
+		{"we will not only collect your location but also your contacts.", false},
+		{"we do not only collect your location but also your contacts.", false},
+		// Plain main-verb negation still negates.
+		{"we will not collect your location.", true},
+		{"we do not share your contacts.", true},
+		{"we will never store your messages.", true},
+		// Inherently negative root verb.
+		{"we prevent third parties from accessing your data.", true},
+	}
+	for _, tc := range cases {
+		p := nlp.ParseSentence(tc.sent)
+		if got := IsNegative(p); got != tc.want {
+			t.Errorf("IsNegative(%q) = %v, want %v (root %d)", tc.sent, got, tc.want, p.Root)
+		}
+	}
+}

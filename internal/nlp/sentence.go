@@ -141,9 +141,13 @@ func isAbbrevBefore(text string, i int) bool {
 
 // mergeEnumerations appends each sentence to its predecessor when the
 // predecessor ends with ';' or ',' or ':' — the enumeration-list repair
-// from the paper. Runs longer than MaxEnumerationRun, or merged
-// sentences beyond MaxSentenceBytes, stop absorbing further fragments
-// so enumeration bombs stay bounded.
+// from the paper. A ':' always announces a continuation, but after ';'
+// or ',' the next fragment only merges when it still looks like a list
+// item: a fragment opening with its own pronoun subject and predicate
+// (or the imperative "please") is an independent sentence, not the
+// next item, and ends the run. Runs longer than MaxEnumerationRun, or
+// merged sentences beyond MaxSentenceBytes, stop absorbing further
+// fragments so enumeration bombs stay bounded.
 func mergeEnumerations(sents []string) []string {
 	out := make([]string, 0, len(sents))
 	runLen := 0
@@ -154,8 +158,10 @@ func mergeEnumerations(sents []string) []string {
 		}
 		if len(out) > 0 {
 			prev := strings.TrimSpace(out[len(out)-1])
-			if (strings.HasSuffix(prev, ";") || strings.HasSuffix(prev, ",") || strings.HasSuffix(prev, ":")) &&
-				runLen < MaxEnumerationRun && len(prev) < MaxSentenceBytes {
+			colon := strings.HasSuffix(prev, ":")
+			if (colon || strings.HasSuffix(prev, ";") || strings.HasSuffix(prev, ",")) &&
+				runLen < MaxEnumerationRun && len(prev) < MaxSentenceBytes &&
+				(colon || !independentStart(trimmed)) {
 				out[len(out)-1] = prev + " " + trimmed
 				runLen++
 				continue
@@ -165,4 +171,33 @@ func mergeEnumerations(sents []string) []string {
 		runLen = 0
 	}
 	return out
+}
+
+// subjectPronouns are the personal pronouns that signal a fragment is
+// its own clause when they open it as the subject.
+var subjectPronouns = map[string]bool{
+	"we": true, "you": true, "i": true, "they": true, "it": true,
+}
+
+// independentStart reports whether a fragment following a ';'- or
+// ','-terminated sentence reads as the start of an unrelated sentence
+// rather than the next enumeration item. List items are noun phrases
+// ("your ip address;"), so a fragment whose first token is a
+// personal-pronoun subject governing its own predicate — or the
+// imperative marker "please" — ends the enumeration run. The check is
+// deliberately case-insensitive: SplitSentences lowercases only after
+// merging, and casing must not change what merges. A mid-fragment
+// pronoun is a relative clause of a list item ("the information we
+// collect about you;") and does not count.
+func independentStart(frag string) bool {
+	lower := strings.ToLower(frag)
+	if lower == "please" || strings.HasPrefix(lower, "please ") {
+		return true
+	}
+	p := ParseSentence(lower)
+	if p == nil || p.Root < 0 {
+		return false
+	}
+	s := p.Subject(p.Root)
+	return s == 0 && subjectPronouns[p.Tokens[s].Lower]
 }

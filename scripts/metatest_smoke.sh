@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke test for the metamorphic harness and cmd/ppmeta: build the
+# CLI, run a small deterministic sweep (must be clean), replay every
+# committed seed case, then shrink a planted divergence and replay the
+# minimized repro.
+#
+# Usage: ./scripts/metatest_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/ppmeta"
+TMPCASE="$(mktemp -d)/repro.json"
+
+echo "== build"
+go build -o "$BIN" ./cmd/ppmeta
+
+echo "== transform catalog"
+CATALOG="$("$BIN" transforms)"
+echo "$CATALOG"
+N_TRANSFORMS="$(echo "$CATALOG" | grep -c '^  [a-z]' || true)"
+if [ "$N_TRANSFORMS" -lt 10 ]; then
+    echo "catalog lists only $N_TRANSFORMS transforms (want >= 10)" >&2
+    exit 1
+fi
+
+echo "== sweep (small, deterministic)"
+"$BIN" sweep -count 20 -stride 19 -step-seeds 1 -chain-len 2 -esa-pairs 200
+
+echo "== replay committed seed corpus"
+"$BIN" replay -dir internal/metatest/testdata/metatest
+
+echo "== shrink a planted divergence"
+"$BIN" shrink -app 1 \
+    -chain "whitespace-churn:7,case-churn:11,plant-drop-statement:3,ncr-recode:13,para-reorder:17" \
+    -note "smoke: planted drop, minimized" -o "$TMPCASE"
+grep -q '"plant-drop-statement"' "$TMPCASE" || {
+    echo "minimized case lost the planted step:" >&2
+    cat "$TMPCASE" >&2
+    exit 1
+}
+N_STEPS="$(grep -c '"name"' "$TMPCASE")"
+if [ "$N_STEPS" -gt 2 ]; then
+    echo "minimized chain has $N_STEPS steps (want <= 2):" >&2
+    cat "$TMPCASE" >&2
+    exit 1
+fi
+
+echo "== replay the minimized repro"
+"$BIN" replay "$TMPCASE"
+
+echo "SMOKE-OK"
