@@ -9,7 +9,8 @@
 //
 //	POST /check        {"name":..., "policy_html":..., ...} → JSON report
 //	POST /check-batch  {"apps":[...]}                       → per-app reports
-//	GET  /healthz      "ok" (503 "draining" during shutdown)
+//	GET  /healthz      JSON health state machine (ok/degraded/draining
+//	                   with queue + breaker state; draining is 503)
 //	GET  /metrics      per-stage latency table + cache gauges
 //	GET  /debug/pprof  net/http/pprof
 //

@@ -1,0 +1,264 @@
+// Command ppstream runs the resilient streaming ingestion layer
+// (internal/stream): app bundles flow from a producer — an on-disk
+// corpus directory or the synthetic Play-store firehose — through a
+// bounded backpressure queue into the robust per-app pipeline, with
+// every completed app checkpointed to a durable journal.
+//
+//	ppstream -dir corpus/ -journal run.journal
+//	ppstream -firehose -seed 7 -apps 5000 -journal run.journal
+//	ppstream -firehose -duration 30s -faults -soak -min-rate 5
+//
+// A killed run (even SIGKILL) resumes from its journal: re-invoking
+// ppstream with the same -journal skips every checkpointed app and
+// folds its outcome back in, finishing with stats identical to an
+// uninterrupted run.
+//
+// On SIGTERM or SIGINT the stream drains gracefully: intake stops,
+// in-flight apps finish and are checkpointed. A second signal abandons
+// in-flight work (it is re-analyzed on resume).
+//
+// Soak mode (-soak) turns the run into a self-verifying harness: it
+// samples the heap throughout, then asserts sustained throughput
+// (-min-rate), bounded heap growth (-heap-factor), and — when a
+// journal is in play — that no app was lost or journaled twice.
+//
+// Exit codes: 0 clean, 1 on a stream failure or a soak-assertion
+// violation, 2 on a usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ppchecker/internal/obs"
+	"ppchecker/internal/stream"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("ppstream: ")
+	var (
+		dir      = flag.String("dir", "", "stream an on-disk corpus directory (bundle layout)")
+		firehose = flag.Bool("firehose", false, "stream the synthetic Play-store firehose")
+		seed     = flag.Int64("seed", 1, "firehose generator seed")
+		apps     = flag.Int64("apps", 0, "firehose cap (0 = endless; bound with -duration or a signal)")
+		duration = flag.Duration("duration", 0, "drain gracefully after this long (0 = run to source end)")
+
+		journalPath = flag.String("journal", "", "durable checkpoint journal (reuse to resume a killed run)")
+		fsyncEvery  = flag.Int("fsync-every", 0, "journal records per fsync batch (0 = 32)")
+
+		workers    = flag.Int("workers", 0, "analysis pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "producer→worker queue bound (0 = 2x workers)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-attempt analysis timeout (0 = no bound)")
+		retries    = flag.Int("retries", 1, "extra attempts for a hard-failed analysis")
+		backoff    = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per retry)")
+		backoffMax = flag.Duration("backoff-max", 0, "retry backoff cap (0 = 32x base)")
+		jitter     = flag.Float64("jitter", 0.5, "retry backoff jitter fraction in [0,1]")
+		threshold  = flag.Int("breaker-threshold", 8, "consecutive same-stage failures that trip the breaker (0 disables)")
+
+		faults    = flag.Bool("faults", false, "inject the chaos fault mix (worker panics, producer stalls, slow I/O)")
+		faultSeed = flag.Int64("fault-seed", 1, "chaos plan seed")
+
+		soak         = flag.Bool("soak", false, "self-verifying soak mode: heap sampling + assertions")
+		minRate      = flag.Float64("min-rate", 0, "soak: minimum sustained apps/sec (0 = no check)")
+		heapFactor   = flag.Float64("heap-factor", 1.5, "soak: allowed end-run/mid-run heap mean ratio")
+		heapInterval = flag.Duration("heap-interval", 250*time.Millisecond, "soak: heap sample interval")
+
+		metricsDump = flag.Bool("metrics", false, "print the final metrics snapshot to stderr")
+		trace       = flag.String("trace", "", "write a JSONL span trace to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || (*dir == "") == !*firehose {
+		fmt.Fprintln(os.Stderr, "ppstream: exactly one of -dir or -firehose is required")
+		flag.Usage()
+		return 2
+	}
+
+	var obsOpts []obs.Option
+	var traceSink *obs.JSONLSink
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		traceSink = obs.NewJSONLSink(f)
+		obsOpts = append(obsOpts, obs.WithSink(traceSink))
+	}
+	observer := obs.New(obsOpts...)
+
+	// Source.
+	var src stream.Source
+	var sourceName string
+	if *dir != "" {
+		ds, err := stream.NewDirSource(*dir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		src, sourceName = ds, "dir:"+*dir
+		log.Printf("streaming %d app bundles from %s", ds.Len(), *dir)
+	} else {
+		src = stream.NewFirehoseSource(*seed, *apps)
+		sourceName = fmt.Sprintf("firehose:%d", *seed)
+		capDesc := "endless"
+		if *apps > 0 {
+			capDesc = fmt.Sprintf("%d apps", *apps)
+		}
+		log.Printf("streaming the synthetic firehose (seed %d, %s)", *seed, capDesc)
+	}
+	if *faults {
+		plan := stream.DefaultFaultPlan(*faultSeed)
+		src = stream.NewChaosSource(src, plan)
+		log.Printf("chaos on: panic every %d, stall every %d, slow every %d",
+			plan.PanicEvery, plan.StallEvery, plan.SlowEvery)
+	}
+
+	// Journal + resume.
+	var journal *stream.Journal
+	var replay *stream.Replay
+	if *journalPath != "" {
+		var err error
+		journal, replay, err = stream.OpenJournal(*journalPath, sourceName,
+			stream.JournalOptions{FsyncEvery: *fsyncEvery, Observer: observer})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer journal.Close()
+		if replay.Records > 0 {
+			log.Printf("resuming: %d checkpointed apps recovered from %s (torn tail: %v)",
+				replay.Records, *journalPath, replay.Truncated)
+		}
+	}
+
+	// Shutdown: first SIGTERM/SIGINT (or -duration expiring) drains,
+	// a second signal cancels.
+	ctx, sigDrain, stopSignals := stream.SignalDrain(context.Background())
+	defer stopSignals()
+	drain := make(chan struct{})
+	go func() {
+		var clock <-chan time.Time
+		if *duration > 0 {
+			t := time.NewTimer(*duration)
+			defer t.Stop()
+			clock = t.C
+		}
+		select {
+		case <-sigDrain:
+			log.Print("draining (second signal abandons in-flight work)...")
+		case <-clock:
+			log.Printf("duration %s reached, draining...", *duration)
+		case <-ctx.Done():
+		}
+		close(drain)
+	}()
+
+	var sampler *stream.HeapSampler
+	if *soak {
+		sampler = stream.StartHeapSampler(observer, *heapInterval)
+	}
+
+	start := time.Now()
+	stats, err := stream.Run(ctx, src, stream.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		PerAppTimeout:   *timeout,
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+		RetryBackoffMax: *backoffMax,
+		RetryJitter:     *jitter,
+		Observer:        observer,
+		Journal:         journal,
+		Replay:          replay,
+		Breaker:         stream.NewBreaker(stream.BreakerConfig{Threshold: *threshold}),
+		Drain:           drain,
+	})
+	elapsed := time.Since(start)
+	if sampler != nil {
+		sampler.Stop()
+	}
+	if err != nil {
+		log.Printf("stream failed: %v", err)
+		return 1
+	}
+
+	completed := stats.Apps - stats.Replayed - stats.Skipped
+	rate := float64(completed) / elapsed.Seconds()
+	fmt.Println(stats.Render())
+	fmt.Printf("Stream: %d analyzed this run in %s (%.1f apps/sec), %d replayed from journal, %d re-analyzed\n",
+		completed, elapsed.Round(time.Millisecond), rate, stats.Replayed, stats.Reanalyzed)
+	fmt.Printf("Stream: queue high-water %d, %d backpressure stalls, %d breaker trips, %d quarantined, %d retry exhaustions\n",
+		stats.QueueHighWater, stats.BackpressureStalls, stats.BreakerTrips,
+		stats.Quarantined, stats.RetryExhaustions)
+	if journal != nil {
+		fmt.Printf("Journal: %d records, %d fsyncs\n", stats.JournalRecords, stats.JournalFsyncs)
+	}
+	if *metricsDump {
+		fmt.Fprint(os.Stderr, observer.Snapshot().Render())
+	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			log.Printf("trace: %v", err)
+			return 1
+		}
+	}
+
+	if *soak {
+		return soakVerdict(stats, sampler, rate, *minRate, *heapFactor, *journalPath, sourceName)
+	}
+	return 0
+}
+
+// soakVerdict applies the soak acceptance checks and reports each one.
+func soakVerdict(stats stream.Stats, sampler *stream.HeapSampler,
+	rate, minRate, heapFactor float64, journalPath, sourceName string) int {
+	failed := 0
+	check := func(name string, err error) {
+		if err != nil {
+			log.Printf("soak FAIL %s: %v", name, err)
+			failed++
+			return
+		}
+		log.Printf("soak ok   %s", name)
+	}
+
+	if minRate > 0 {
+		var err error
+		if rate < minRate {
+			err = fmt.Errorf("%.1f apps/sec, need >= %.1f", rate, minRate)
+		}
+		check("throughput", err)
+	}
+	check("bounded heap", sampler.BoundedGrowth(heapFactor))
+	if journalPath != "" {
+		// Replay the closed journal and require it to account for every
+		// non-skipped app exactly once — zero lost, zero duplicated.
+		_, replay, err := stream.OpenJournal(journalPath, sourceName, stream.JournalOptions{})
+		switch {
+		case err != nil:
+			check("journal accounting", err)
+		case replay.Duplicates != 0:
+			check("journal accounting", fmt.Errorf("%d duplicate records", replay.Duplicates))
+		case replay.Records != stats.Apps-stats.Skipped:
+			check("journal accounting", fmt.Errorf("journal has %d records, run completed %d apps",
+				replay.Records, stats.Apps-stats.Skipped))
+		default:
+			check("journal accounting", nil)
+		}
+	}
+	if failed > 0 {
+		log.Printf("soak verdict: %d check(s) failed", failed)
+		return 1
+	}
+	log.Print("soak verdict: all checks passed")
+	return 0
+}

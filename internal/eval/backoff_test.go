@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffForExponentialNoJitter: with jitter off the schedule is
+// the exact doubling series capped at BackoffMax.
+func TestBackoffForExponentialNoJitter(t *testing.T) {
+	opts := AttemptOptions{RetryBackoff: 10 * time.Millisecond, BackoffMax: 60 * time.Millisecond}
+	want := []time.Duration{
+		0,                     // retry 0: no pause
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		60 * time.Millisecond, // retry 4: capped
+		60 * time.Millisecond, // retry 5: stays capped
+	}
+	for retry, w := range want {
+		if got := opts.BackoffFor(retry); got != w {
+			t.Errorf("BackoffFor(%d) = %v, want %v", retry, got, w)
+		}
+	}
+}
+
+// TestBackoffForDefaultCap: a zero BackoffMax caps at 32x the base, so
+// a long retry chain cannot sleep unboundedly (or overflow the shift).
+func TestBackoffForDefaultCap(t *testing.T) {
+	opts := AttemptOptions{RetryBackoff: time.Millisecond}
+	if got, want := opts.BackoffFor(1000), 32*time.Millisecond; got != want {
+		t.Fatalf("BackoffFor(1000) = %v, want default cap %v", got, want)
+	}
+}
+
+// TestBackoffForJitterBounds: jittered backoffs stay within the
+// ±Jitter band around the nominal value and actually vary (the whole
+// point is desynchronizing workers that failed together).
+func TestBackoffForJitterBounds(t *testing.T) {
+	opts := AttemptOptions{RetryBackoff: 100 * time.Millisecond, Jitter: 0.5}
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := opts.BackoffFor(1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct backoffs in 200 draws", len(seen))
+	}
+}
+
+// TestBackoffForJitterClamped: out-of-range jitter values are clamped
+// rather than producing negative sleeps.
+func TestBackoffForJitterClamped(t *testing.T) {
+	opts := AttemptOptions{RetryBackoff: 10 * time.Millisecond, Jitter: 5}
+	for i := 0; i < 100; i++ {
+		if d := opts.BackoffFor(1); d < 0 || d > 20*time.Millisecond {
+			t.Fatalf("clamped jitter gave %v", d)
+		}
+	}
+	neg := AttemptOptions{RetryBackoff: 10 * time.Millisecond, Jitter: -3}
+	if d := neg.BackoffFor(1); d != 10*time.Millisecond {
+		t.Fatalf("negative jitter not clamped to none: %v", d)
+	}
+}

@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -59,8 +60,19 @@ type RunOptions struct {
 	PerAppTimeout time.Duration
 	// MaxRetries is how many extra attempts a failed app gets.
 	MaxRetries int
-	// RetryBackoff is the pause before each retry.
+	// RetryBackoff is the base pause before the first retry; later
+	// retries back off exponentially (doubling per attempt) up to
+	// RetryBackoffMax.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth; 0 means 32x the
+	// base backoff.
+	RetryBackoffMax time.Duration
+	// RetryJitter randomizes each backoff within ±RetryJitter fraction
+	// of its nominal value (0..1). A fixed backoff synchronizes the
+	// retries of every worker that failed in the same burst — under
+	// load they all sleep, then all slam the same contended resource
+	// again together; jitter decorrelates them. 0 means no jitter.
+	RetryJitter float64
 	// CheckerOptions configure the per-worker checkers.
 	CheckerOptions []core.CheckerOption
 	// Observer, when non-nil, instruments the run: every worker's
@@ -78,9 +90,9 @@ type RunOptions struct {
 }
 
 // DefaultRunOptions returns the runner defaults: GOMAXPROCS workers,
-// no per-app timeout, one retry after a short backoff.
+// no per-app timeout, one retry after a short jittered backoff.
 func DefaultRunOptions() RunOptions {
-	return RunOptions{MaxRetries: 1, RetryBackoff: 50 * time.Millisecond}
+	return RunOptions{MaxRetries: 1, RetryBackoff: 50 * time.Millisecond, RetryJitter: 0.5}
 }
 
 // Outcome classifies one app's analysis, mapped one-to-one onto the
@@ -238,6 +250,8 @@ func runRobust(ctx context.Context, jobs []appJob, opts RunOptions) (*CorpusResu
 		Timeout:      opts.PerAppTimeout,
 		MaxRetries:   opts.MaxRetries,
 		RetryBackoff: opts.RetryBackoff,
+		BackoffMax:   opts.RetryBackoffMax,
+		Jitter:       opts.RetryJitter,
 	}
 	idxCh := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -323,8 +337,66 @@ type AttemptOptions struct {
 	Timeout time.Duration
 	// MaxRetries is how many extra attempts a hard failure gets.
 	MaxRetries int
-	// RetryBackoff is the pause before each retry.
+	// RetryBackoff is the base pause before the first retry; retry n
+	// nominally waits RetryBackoff << (n-1).
 	RetryBackoff time.Duration
+	// BackoffMax caps the exponential growth; 0 means 32x the base.
+	BackoffMax time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of
+	// its nominal value (clamped to [0, 1]); 0 keeps it fixed.
+	Jitter float64
+}
+
+// BackoffFor returns the pause before the retry-th retry (1-based):
+// exponential doubling from RetryBackoff, capped at BackoffMax, then
+// jittered over [nominal*(1-Jitter), nominal*(1+Jitter)]. Exposed so
+// the streaming ingestion layer and tests share the exact schedule the
+// runner sleeps on.
+func (o AttemptOptions) BackoffFor(retry int) time.Duration {
+	if o.RetryBackoff <= 0 || retry <= 0 {
+		return 0
+	}
+	max := o.BackoffMax
+	if max <= 0 {
+		max = 32 * o.RetryBackoff
+	}
+	d := o.RetryBackoff
+	for i := 1; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	j := o.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		// Uniform in [d*(1-j), d*(1+j)]; the global source is
+		// goroutine-safe and deliberately unseeded — decorrelation is
+		// the whole point.
+		d = time.Duration((1 - j + 2*j*rand.Float64()) * float64(d))
+	}
+	return d
+}
+
+// Exhausted reports whether a CheckApp result spent the whole non-zero
+// retry budget with its final attempt still erroring: a hard failure
+// (stub report), or a degraded report whose StageRun entry carries the
+// last attempt's error. A degraded outcome whose final attempt
+// *succeeded* — even after the same number of retries — is not
+// exhaustion; the budget worked.
+func (o AttemptOptions) Exhausted(outcome Outcome, rep *core.Report, retries int) bool {
+	if o.MaxRetries <= 0 || retries < o.MaxRetries {
+		return false
+	}
+	if outcome == OutcomeFailed {
+		return true
+	}
+	return outcome == OutcomeDegraded && rep != nil && rep.DegradedStage(core.StageRun)
 }
 
 // CheckApp analyzes one app with bounded retries — the request-scoped
@@ -363,19 +435,19 @@ func CheckApp(ctx context.Context, checker *core.Checker, name string,
 				// The last attempt produced a usable (if partial)
 				// report: classify Degraded, not Failed, so the real
 				// findings land in the report slot instead of being
-				// treated as a stub. A complete report that still came
-				// with an error records it as a StageRun degradation.
-				if !rep.Partial {
-					rep.AddDegraded(&core.StageError{Stage: core.StageRun, App: name, Err: err})
-				}
+				// treated as a stub. The attempt error is recorded as a
+				// StageRun degradation rather than dropped — it is what
+				// distinguishes "budget spent, still erroring" (see
+				// AttemptOptions.Exhausted) from a salvaged success.
+				rep.AddDegraded(&core.StageError{Stage: core.StageRun, App: name, Err: err})
 				return rep, OutcomeDegraded, retries
 			}
 			return stubReport(name, err), OutcomeFailed, retries
 		}
 		retries++
-		if opts.RetryBackoff > 0 {
+		if backoff := opts.BackoffFor(retries); backoff > 0 {
 			select {
-			case <-time.After(opts.RetryBackoff):
+			case <-time.After(backoff):
 			case <-ctx.Done():
 				if rep == nil {
 					rep = stubReport(name, ctx.Err())

@@ -185,6 +185,32 @@ func (o *Observer) SetCounter(name string, v int64) {
 	c.(*counterCell).val.Store(v)
 }
 
+// MaxCounter raises the named counter to v if v exceeds its current
+// value, registering it on first use. Nil-safe. Use for high-water
+// marks (queue depth, heap size) that many goroutines race to publish
+// — the counter converges on the maximum ever observed.
+func (o *Observer) MaxCounter(name string, v int64) {
+	if o == nil {
+		return
+	}
+	c, ok := o.counters.Load(name)
+	if !ok {
+		cell := &counterCell{seq: o.nextCounterSeq.Add(1)}
+		if prev, loaded := o.counters.LoadOrStore(name, cell); loaded {
+			c = prev
+		} else {
+			c = cell
+		}
+	}
+	cell := &c.(*counterCell).val
+	for {
+		cur := cell.Load()
+		if v <= cur || cell.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Span is one in-flight timed operation. It is a value type: starting
 // and ending a span performs no heap allocation.
 type Span struct {

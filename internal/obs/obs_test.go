@@ -193,3 +193,34 @@ func TestBucketBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxCounter: MaxCounter converges on the maximum observed value
+// under concurrent racing publishers, never regressing, and is
+// nil-safe like every other Observer method.
+func TestMaxCounter(t *testing.T) {
+	var nilObs *Observer
+	nilObs.MaxCounter("hwm", 5) // must not panic
+
+	o := New()
+	o.MaxCounter("hwm", 7)
+	o.MaxCounter("hwm", 3) // lower: no regression
+	if v, ok := o.Snapshot().Counter("hwm"); !ok || v != 7 {
+		t.Fatalf("hwm = %d (ok=%v), want 7", v, ok)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				o.MaxCounter("race-hwm", int64(w*1000+i))
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := o.Snapshot().Counter("race-hwm"); v != 7999 {
+		t.Fatalf("race-hwm = %d, want 7999", v)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ppchecker/internal/eval"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/report"
+	"ppchecker/internal/stream"
 )
 
 // Options configures the analysis service.
@@ -46,6 +47,12 @@ type Options struct {
 	// Observer instruments the server; nil constructs a fresh one.
 	// The /metrics endpoint renders its snapshot.
 	Observer *obs.Observer
+	// Breaker configures the cross-request circuit breaker shared with
+	// the stream layer: a stage failing on Threshold consecutive apps
+	// trips into quarantine (retry budget withheld) and turns /healthz
+	// degraded. The zero value uses stream.DefaultBreakerConfig; a
+	// negative Threshold disables the breaker.
+	Breaker stream.BreakerConfig
 }
 
 // withDefaults fills the zero fields.
@@ -62,6 +69,9 @@ func (o Options) withDefaults() Options {
 	if o.Observer == nil {
 		o.Observer = obs.New()
 	}
+	if o.Breaker.Threshold == 0 {
+		o.Breaker = stream.DefaultBreakerConfig()
+	}
 	return o
 }
 
@@ -70,6 +80,12 @@ type result struct {
 	rep     *core.Report
 	outcome eval.Outcome
 	retries int
+	// exhausted: the app spent its whole non-zero retry budget and
+	// still failed hard — a different signal than a one-shot failure.
+	exhausted bool
+	// quarantined: the breaker was open, so the app ran with its retry
+	// budget withheld.
+	quarantined bool
 }
 
 // job is one admitted app: the request context travels with it so a
@@ -93,6 +109,7 @@ type Server struct {
 	libCache *core.AnalysisCache
 	esaScope *esa.StatScope
 	obs      *obs.Observer
+	breaker  *stream.Breaker
 
 	jobs    chan *job
 	mu      sync.Mutex // guards queued
@@ -113,6 +130,7 @@ func New(opts Options) *Server {
 		libCache: core.NewAnalysisCache(),
 		esaScope: esa.NewStatScope(),
 		obs:      opts.Observer,
+		breaker:  stream.NewBreaker(opts.Breaker),
 		jobs:     make(chan *job, opts.QueueDepth),
 	}
 	mux := http.NewServeMux()
@@ -151,15 +169,29 @@ func (s *Server) Start(ln net.Listener) {
 			defer s.workers.Done()
 			checker := core.NewChecker(checkerOpts...)
 			for j := range s.jobs {
+				quarantined := s.breaker.Quarantine()
+				att := attempt
+				if quarantined {
+					att.MaxRetries = 0
+					s.obs.AddCounter("serve-quarantined", 1)
+				}
 				sp := s.obs.Start(string(core.StageRun), j.name, "")
 				rep, outcome, retries := eval.CheckApp(j.ctx, checker, j.name,
 					func(ctx context.Context, c *core.Checker) (*core.Report, error) {
 						return c.CheckSafe(ctx, j.app)
-					}, attempt)
+					}, att)
 				sp.End(spanError(rep, outcome), false)
+				if tripped := s.breaker.Observe(rep, outcome); len(tripped) > 0 {
+					s.obs.AddCounter("serve-breaker-trips", int64(len(tripped)))
+				}
+				exhausted := att.Exhausted(outcome, rep, retries)
+				if exhausted {
+					s.obs.AddCounter("serve-retry-exhaustions", 1)
+				}
 				s.obs.AddCounter("serve-requests-"+outcome.String(), 1)
 				s.release(1)
-				j.done <- result{rep: rep, outcome: outcome, retries: retries}
+				j.done <- result{rep: rep, outcome: outcome, retries: retries,
+					exhausted: exhausted, quarantined: quarantined}
 			}
 		}()
 	}
@@ -308,6 +340,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		res := <-j.done
 		resp.Apps[i] = checkResponse(&batch.Apps[i], res)
 		resp.Stats.Retried += res.retries
+		if res.exhausted {
+			resp.Stats.RetryExhaustions++
+		}
+		if res.quarantined {
+			resp.Stats.Quarantined++
+		}
 		switch res.outcome {
 		case eval.OutcomeChecked:
 			resp.Stats.Checked++
@@ -322,16 +360,43 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness; a draining server answers 503 so
-// load balancers stop routing to it while in-flight work finishes.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+// Health evaluates the server's health state machine:
+//
+//	ok        accepting work, breaker closed, queue has headroom
+//	degraded  still serving, but the breaker is open/probing or the
+//	          admission queue is at its bound — expect 429s and
+//	          withheld retry budgets
+//	draining  shutdown in progress; stop routing here
+func (s *Server) Health() HealthResponse {
+	breakerState, stages := s.breaker.Status()
+	queued := s.QueueLen()
+	h := HealthResponse{
+		State:      HealthOK,
+		Queue:      queued,
+		QueueDepth: s.opts.QueueDepth,
+		Breaker:    string(breakerState),
+		Stages:     stages,
 	}
-	fmt.Fprintln(w, "ok")
+	switch {
+	case s.draining.Load():
+		h.State = HealthDraining
+	case breakerState != stream.BreakerClosed || queued >= s.opts.QueueDepth:
+		h.State = HealthDegraded
+	}
+	return h
+}
+
+// handleHealthz renders the health state machine. Degraded is still
+// 200 — the server is serving, monitors read the state field — while
+// draining is 503 so load balancers stop routing while in-flight work
+// finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.State == HealthDraining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // handleMetrics renders the obs exposition: the per-stage table plus
@@ -340,8 +405,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.publishCacheGauges()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "uptime: %s\nqueue: %d of %d\n",
-		time.Since(s.started).Round(time.Second), s.QueueLen(), s.opts.QueueDepth)
+	fmt.Fprintf(w, "uptime: %s\nqueue: %d of %d\n%s\n",
+		time.Since(s.started).Round(time.Second), s.QueueLen(), s.opts.QueueDepth,
+		s.breaker.Render())
 	fmt.Fprint(w, s.obs.Snapshot().Render())
 }
 
@@ -372,10 +438,12 @@ func (s *Server) Metrics() *obs.Snapshot {
 // checkResponse shapes one finished analysis for the wire.
 func checkResponse(req *CheckRequest, res result) CheckResponse {
 	return CheckResponse{
-		Name:    req.Name,
-		Outcome: res.outcome.String(),
-		Retries: res.retries,
-		Report:  report.FromReport(res.rep),
+		Name:             req.Name,
+		Outcome:          res.outcome.String(),
+		Retries:          res.retries,
+		RetriesExhausted: res.exhausted,
+		Quarantined:      res.quarantined,
+		Report:           report.FromReport(res.rep),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"ppchecker/internal/apk"
 	"ppchecker/internal/serve"
+	"ppchecker/internal/stream"
 	"ppchecker/internal/synth"
 )
 
@@ -339,5 +340,126 @@ func TestServeConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestServeHealthz: a healthy server reports the full state machine
+// body — state ok, queue occupancy and bound, breaker closed.
+func TestServeHealthz(t *testing.T) {
+	srv := startServer(t, serve.Options{Workers: 2, QueueDepth: 8})
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, buf.String())
+	}
+	var h serve.HealthResponse
+	if err := json.Unmarshal(buf.Bytes(), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, buf.String())
+	}
+	if h.State != serve.HealthOK || h.Breaker != "closed" {
+		t.Fatalf("health = %+v, want ok/closed", h)
+	}
+	if h.Queue != 0 || h.QueueDepth != 8 {
+		t.Fatalf("queue = %d of %d, want 0 of 8", h.Queue, h.QueueDepth)
+	}
+	// The smoke-test contract: the body contains "ok".
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("healthz body lost the ok marker: %s", buf.String())
+	}
+}
+
+// TestServeRetryExhaustionAndQuarantine drives the server into
+// sustained hard failure (a per-attempt timeout no analysis can meet):
+// early apps burn and exhaust their retry budget, the breaker trips,
+// later apps run quarantined, and /healthz turns degraded — all
+// distinguishable on the wire.
+func TestServeRetryExhaustionAndQuarantine(t *testing.T) {
+	srv := startServer(t, serve.Options{
+		Workers:       1, // deterministic failure ordering
+		QueueDepth:    16,
+		PerAppTimeout: time.Nanosecond,
+		MaxRetries:    1,
+		Breaker:       stream.BreakerConfig{Threshold: 2, Cooldown: 50},
+	})
+	base := "http://" + srv.Addr()
+	ds := testDataset()
+	var batch serve.BatchRequest
+	for _, ga := range ds.Apps[:6] {
+		batch.Apps = append(batch.Apps, wireApp(t, ga))
+	}
+	resp, body := postJSON(t, base+"/check-batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var br serve.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	// The 1ns timeout leaves partial reports, so the outcomes are
+	// degraded (salvaged findings), not hard failures — exhaustion is
+	// the signal that separates them from healthy degraded apps.
+	if br.Stats.Degraded != 6 {
+		t.Fatalf("stats = %+v, want all 6 degraded", br.Stats)
+	}
+	// Apps 1-2 exhaust their budget and trip the breaker; apps 3-6 run
+	// quarantined with no budget to exhaust.
+	if br.Stats.RetryExhaustions != 2 || br.Stats.Quarantined != 4 {
+		t.Fatalf("stats = %+v, want 2 exhaustions and 4 quarantined", br.Stats)
+	}
+	for i, cr := range br.Apps {
+		wantExhausted, wantQuarantined := i < 2, i >= 2
+		if cr.RetriesExhausted != wantExhausted || cr.Quarantined != wantQuarantined {
+			t.Fatalf("app %d = exhausted %v quarantined %v, want %v/%v",
+				i, cr.RetriesExhausted, cr.Quarantined, wantExhausted, wantQuarantined)
+		}
+	}
+
+	// The tripped breaker shows in the health state machine.
+	h := srv.Health()
+	if h.State != serve.HealthDegraded || h.Breaker != "open" {
+		t.Fatalf("health after trip = %+v, want degraded/open", h)
+	}
+	if len(h.Stages) == 0 {
+		t.Fatal("health carries no stage breakdown")
+	}
+
+	// And in the counters.
+	snap := srv.Metrics()
+	if v, _ := snap.Counter("serve-retry-exhaustions"); v != 2 {
+		t.Fatalf("serve-retry-exhaustions = %d", v)
+	}
+	// Every stage degrades under the dead context, so several stage
+	// breakers trip on the same app.
+	if v, _ := snap.Counter("serve-breaker-trips"); v < 1 {
+		t.Fatalf("serve-breaker-trips = %d", v)
+	}
+	if v, _ := snap.Counter("serve-quarantined"); v != 4 {
+		t.Fatalf("serve-quarantined = %d", v)
+	}
+}
+
+// TestServeHealthzDraining: shutdown flips the state machine to
+// draining with a 503 before the listener closes.
+func TestServeHealthzDraining(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(ln)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h := srv.Health(); h.State != serve.HealthDraining {
+		t.Fatalf("health after shutdown = %+v, want draining", h)
 	}
 }

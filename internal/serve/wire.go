@@ -8,7 +8,9 @@
 //
 //	POST /check        one app bundle in, one JSON report out
 //	POST /check-batch  a list of bundles in, per-app reports + counts out
-//	GET  /healthz      liveness ("ok", or "draining" with 503)
+//	GET  /healthz      health state machine (JSON: ok/degraded/draining
+//	                   with queue depth and circuit-breaker state;
+//	                   draining answers 503)
 //	GET  /metrics      the obs exposition (per-stage table + run counters)
 //	GET  /debug/pprof  net/http/pprof
 //
@@ -26,6 +28,7 @@ import (
 	"ppchecker/internal/apk"
 	"ppchecker/internal/core"
 	"ppchecker/internal/report"
+	"ppchecker/internal/stream"
 )
 
 // CheckRequest is one app bundle on the wire — the JSON counterpart
@@ -78,6 +81,16 @@ type CheckResponse struct {
 	Outcome string `json:"outcome"`
 	// Retries counts extra attempts spent on this app.
 	Retries int `json:"retries,omitempty"`
+	// RetriesExhausted marks an app that consumed its whole non-zero
+	// retry budget with the final attempt still erroring — a hard
+	// failure, or a degraded report whose StageRun entry carries the
+	// last error. Distinct from a one-shot failure and from a
+	// quarantined run that never got a budget.
+	RetriesExhausted bool `json:"retries_exhausted,omitempty"`
+	// Quarantined marks an app analyzed while the server's circuit
+	// breaker was open: its retry budget was withheld, so a transient
+	// failure that a retry would have rescued surfaces as failed.
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Report is the full JSON report document (the same shape
 	// ppchecker -json emits). For "failed" it is the stub report
 	// carrying the failure as a StageRun error.
@@ -98,6 +111,12 @@ type BatchStats struct {
 	Failed   int `json:"failed"`
 	Skipped  int `json:"skipped"`
 	Retried  int `json:"retried"`
+	// RetryExhaustions counts the batch's failed apps that consumed
+	// their whole retry budget (a subset of Failed).
+	RetryExhaustions int `json:"retry_exhaustions,omitempty"`
+	// Quarantined counts apps run with retry budget withheld because
+	// the circuit breaker was open.
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // BatchResponse is the /check-batch output; Apps is index-aligned
@@ -105,6 +124,32 @@ type BatchStats struct {
 type BatchResponse struct {
 	Apps  []CheckResponse `json:"apps"`
 	Stats BatchStats      `json:"stats"`
+}
+
+// Health states, in decreasing order of welcome.
+const (
+	// HealthOK: accepting work, breaker closed, queue has headroom.
+	HealthOK = "ok"
+	// HealthDegraded: still serving, but the circuit breaker is open
+	// (or probing) or the admission queue is at its bound.
+	HealthDegraded = "degraded"
+	// HealthDraining: shutdown in progress; stop routing here.
+	HealthDraining = "draining"
+)
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	// State is HealthOK, HealthDegraded or HealthDraining.
+	State string `json:"state"`
+	// Queue and QueueDepth are the admission queue's occupancy and
+	// bound.
+	Queue      int `json:"queue"`
+	QueueDepth int `json:"queue_depth"`
+	// Breaker is the overall circuit-breaker state
+	// (closed/open/half-open); Stages lists every stage that has ever
+	// counted a failure.
+	Breaker string               `json:"breaker"`
+	Stages  []stream.StageStatus `json:"stages,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ppchecker/internal/obs"
+)
+
+// HeapSampler periodically reads runtime.MemStats during a soak run,
+// publishing heap gauges to the observer and retaining the series so
+// the run can be judged for monotonic growth afterwards. The soak
+// acceptance contract — "heap bounded" — is a statement about the
+// whole run, not one scrape, so the samples stay in memory (8 bytes
+// each; a day-long soak at 1s resolution is under a megabyte).
+type HeapSampler struct {
+	obs      *obs.Observer
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []uint64 // HeapAlloc bytes
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeapSampler begins sampling every interval (min 10ms). Call
+// Stop to end sampling before reading the verdict.
+func StartHeapSampler(observer *obs.Observer, interval time.Duration) *HeapSampler {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	h := &HeapSampler{
+		obs:      observer,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go h.loop()
+	return h
+}
+
+func (h *HeapSampler) loop() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		h.sample()
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (h *HeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.mu.Lock()
+	h.samples = append(h.samples, ms.HeapAlloc)
+	h.mu.Unlock()
+	h.obs.SetCounter("heap-alloc-bytes", int64(ms.HeapAlloc))
+	h.obs.MaxCounter("heap-alloc-high-water", int64(ms.HeapAlloc))
+}
+
+// Stop takes a final sample and ends the loop.
+func (h *HeapSampler) Stop() {
+	close(h.stop)
+	<-h.done
+	h.sample()
+}
+
+// Samples returns a copy of the series collected so far.
+func (h *HeapSampler) Samples() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.samples...)
+}
+
+// BoundedGrowth judges the series: after discarding the first quarter
+// (cache warm-up — the interpret memo and lib-policy cache legitimately
+// grow early), the mean heap of the last third must not exceed factor
+// times the mean of the middle third. A leak — per-app state retained
+// forever — shows up as a monotonic ramp and fails; a healthy run
+// plateaus and passes. Returns nil when bounded.
+func (h *HeapSampler) BoundedGrowth(factor float64) error {
+	s := h.Samples()
+	if len(s) < 9 {
+		return fmt.Errorf("stream: only %d heap samples, need >= 9 for a growth verdict", len(s))
+	}
+	warm := s[len(s)/4:]
+	third := len(warm) / 3
+	mid := warm[third : 2*third]
+	last := warm[2*third:]
+	mean := func(v []uint64) float64 {
+		var sum float64
+		for _, x := range v {
+			sum += float64(x)
+		}
+		return sum / float64(len(v))
+	}
+	m1, m2 := mean(mid), mean(last)
+	if m1 > 0 && m2 > factor*m1 {
+		return fmt.Errorf("stream: heap grew from %.1f MiB (mid-run mean) to %.1f MiB (end-run mean), beyond the %.2fx bound",
+			m1/(1<<20), m2/(1<<20), factor)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppchecker/internal/obs"
+)
+
+// TestBoundedGrowthVerdict: the soak heap judgment passes a plateau,
+// fails a monotonic ramp, and refuses to rule on too few samples.
+func TestBoundedGrowthVerdict(t *testing.T) {
+	mk := func(samples []uint64) *HeapSampler {
+		return &HeapSampler{samples: samples}
+	}
+	flat := make([]uint64, 40)
+	for i := range flat {
+		flat[i] = 100 << 20 // steady 100 MiB
+	}
+	if err := mk(flat).BoundedGrowth(1.2); err != nil {
+		t.Fatalf("flat series judged leaky: %v", err)
+	}
+
+	// Warm-up growth then plateau — the healthy cache shape.
+	warm := make([]uint64, 40)
+	for i := range warm {
+		if i < 10 {
+			warm[i] = uint64(i+1) * 10 << 20
+		} else {
+			warm[i] = 100 << 20
+		}
+	}
+	if err := mk(warm).BoundedGrowth(1.2); err != nil {
+		t.Fatalf("warm-up-then-plateau judged leaky: %v", err)
+	}
+
+	ramp := make([]uint64, 40)
+	for i := range ramp {
+		ramp[i] = uint64(i+1) * 10 << 20 // 10 MiB per sample, forever
+	}
+	err := mk(ramp).BoundedGrowth(1.2)
+	if err == nil {
+		t.Fatal("monotonic ramp judged bounded")
+	}
+	if !strings.Contains(err.Error(), "heap grew") {
+		t.Fatalf("verdict message: %v", err)
+	}
+
+	if err := mk(flat[:5]).BoundedGrowth(1.2); err == nil {
+		t.Fatal("5 samples produced a verdict")
+	}
+}
+
+// TestHeapSamplerPublishes: the sampler feeds the observer gauges and
+// retains its series.
+func TestHeapSamplerPublishes(t *testing.T) {
+	observer := obs.New()
+	h := StartHeapSampler(observer, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	h.Stop()
+	if len(h.Samples()) < 2 {
+		t.Fatalf("only %d samples", len(h.Samples()))
+	}
+	snap := observer.Snapshot()
+	if v, ok := snap.Counter("heap-alloc-bytes"); !ok || v <= 0 {
+		t.Fatalf("heap-alloc-bytes = %d ok=%v", v, ok)
+	}
+	if v, ok := snap.Counter("heap-alloc-high-water"); !ok || v <= 0 {
+		t.Fatalf("heap-alloc-high-water = %d ok=%v", v, ok)
+	}
+}

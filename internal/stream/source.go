@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ppchecker/internal/bundle"
+	"ppchecker/internal/core"
+	"ppchecker/internal/synth"
+)
+
+// Item is one unit of ingestion work: a stable app name, the content
+// hash of its inputs (the resume identity — an app is skipped on
+// resume only if both name and hash match its journal record), and the
+// closure that produces its report on a worker's checker.
+type Item struct {
+	Name string
+	Hash string
+	Run  func(ctx context.Context, checker *core.Checker) (*core.Report, error)
+}
+
+// Source produces items one at a time. Next returns io.EOF when the
+// stream is exhausted; a finite directory walk ends, a firehose only
+// ends when its cap or the run's clock says so. Next is called from a
+// single producer goroutine, so implementations need no locking.
+type Source interface {
+	Next(ctx context.Context) (*Item, error)
+}
+
+// DirSource streams an on-disk corpus (the bundle layout ppgen
+// writes). Each item's hash covers the raw bytes of every bundle file,
+// so editing any input after a checkpoint forces re-analysis on
+// resume.
+type DirSource struct {
+	dirs    []string
+	libsDir string
+	next    int
+}
+
+// NewDirSource lists the corpus's app bundles up front (cheap: one
+// readdir) and streams them in sorted order.
+func NewDirSource(corpusDir string) (*DirSource, error) {
+	dirs, err := bundle.ListApps(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	return &DirSource{dirs: dirs, libsDir: filepath.Join(corpusDir, bundle.DirLibs)}, nil
+}
+
+// Len returns the number of app bundles the walk will produce.
+func (s *DirSource) Len() int { return len(s.dirs) }
+
+// Next reads the next bundle's raw bytes for hashing; the returned
+// item re-reads leniently inside the worker so per-file damage
+// degrades the app instead of killing the stream.
+func (s *DirSource) Next(ctx context.Context) (*Item, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.next >= len(s.dirs) {
+		return nil, io.EOF
+	}
+	dir := s.dirs[s.next]
+	s.next++
+	libsDir := s.libsDir
+	return &Item{
+		Name: filepath.Base(dir),
+		Hash: hashBundleDir(dir),
+		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
+			app, ferrs := bundle.ReadAppLenient(dir, libsDir)
+			rep, err := checker.CheckSafe(ctx, app)
+			if rep != nil {
+				for _, fe := range ferrs {
+					st := core.StageRead
+					if fe.File == bundle.FileAPK && !fe.Missing {
+						st = core.StageDecode
+					}
+					rep.AddDegraded(&core.StageError{Stage: st, App: app.Name, Err: fe})
+				}
+			}
+			return rep, err
+		},
+	}, nil
+}
+
+// hashBundleDir hashes the raw bytes of the bundle's files. Unreadable
+// files hash as empty sections — the analysis will degrade them, and
+// the hash still changes if they later become readable.
+func hashBundleDir(dir string) string {
+	sections := make([][]byte, 0, 4)
+	for _, name := range []string{bundle.FilePolicy, bundle.FileDescription, bundle.FileAPK, bundle.FileLibs} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			data = nil
+		}
+		sections = append(sections, data)
+	}
+	return HashBytes(sections...)
+}
+
+// DatasetSource streams an in-memory synthetic dataset — the test and
+// bench path that needs no disk.
+type DatasetSource struct {
+	ds   *synth.Dataset
+	next int
+}
+
+// NewDatasetSource wraps a generated dataset.
+func NewDatasetSource(ds *synth.Dataset) *DatasetSource { return &DatasetSource{ds: ds} }
+
+// Next emits the next generated app.
+func (s *DatasetSource) Next(ctx context.Context) (*Item, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.next >= len(s.ds.Apps) {
+		return nil, io.EOF
+	}
+	app := s.ds.Apps[s.next].App
+	s.next++
+	return &Item{
+		Name: app.Name,
+		Hash: HashBytes([]byte(app.PolicyHTML), []byte(app.Description), []byte(app.Name)),
+		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
+			return checker.CheckSafe(ctx, app)
+		},
+	}, nil
+}
+
+// FirehoseSource streams the synthetic Play-store firehose: apps are
+// generated on demand, deterministically from (seed, index), so the
+// stream is endless but resumable — app i has the same identity and
+// content on every run. Cap bounds the stream; 0 means unbounded
+// (the soak clock or a drain signal ends the run).
+type FirehoseSource struct {
+	fh   *synth.Firehose
+	next int64
+	// Cap is the number of apps to emit; 0 means endless.
+	Cap int64
+}
+
+// NewFirehoseSource builds a firehose source from a generator seed.
+func NewFirehoseSource(seed int64, cap int64) *FirehoseSource {
+	return &FirehoseSource{fh: synth.NewFirehose(seed), Cap: cap}
+}
+
+// Next generates app number s.next. Generation happens in the producer
+// goroutine — it is much cheaper than analysis, so a handful of
+// workers still saturate, and the bounded queue throttles generation
+// to consumption (backpressure keeps an endless firehose from
+// ballooning memory).
+func (s *FirehoseSource) Next(ctx context.Context) (*Item, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.Cap > 0 && s.next >= s.Cap {
+		return nil, io.EOF
+	}
+	i := s.next
+	s.next++
+	ga, err := s.fh.App(i)
+	if err != nil {
+		return nil, err
+	}
+	app := ga.App
+	return &Item{
+		Name: app.Name,
+		// The app's content is a pure function of (seed, index); the
+		// hash binds both so a journal from a different seed never
+		// satisfies a resume.
+		Hash: HashBytes([]byte(strconv.FormatInt(s.fh.Seed(), 10)), []byte(strconv.FormatInt(i, 10))),
+		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
+			return checker.CheckSafe(ctx, app)
+		},
+	}, nil
+}
