@@ -7,12 +7,14 @@
 //
 // Endpoints (see internal/serve):
 //
-//	POST /check        {"name":..., "policy_html":..., ...} → JSON report
-//	POST /check-batch  {"apps":[...]}                       → per-app reports
-//	GET  /healthz      JSON health state machine (ok/degraded/draining
-//	                   with queue + breaker state; draining is 503)
-//	GET  /metrics      per-stage latency table + cache gauges
-//	GET  /debug/pprof  net/http/pprof
+//	POST /check          {"name":..., "policy_html":..., ...} → JSON report
+//	POST /check-batch    {"apps":[...]}                       → per-app reports
+//	POST /check-history  {"name":..., "versions":[...]}       → per-version
+//	                     reports + cross-version drift (needs -longi)
+//	GET  /healthz        JSON health state machine (ok/degraded/draining
+//	                     with queue + breaker state; draining is 503)
+//	GET  /metrics        per-stage latency table + cache gauges
+//	GET  /debug/pprof    net/http/pprof
 //
 // On SIGTERM or SIGINT the server drains gracefully: admission stops,
 // every in-flight request completes and receives its response, the
@@ -36,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"ppchecker/internal/longi"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/serve"
 )
@@ -57,6 +60,8 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain")
 		trace        = flag.String("trace", "", "write a JSONL span trace to this file")
 		metricsDump  = flag.Bool("metrics", true, "print the final metrics snapshot on shutdown")
+		longiFlag    = flag.Bool("longi", false, "enable POST /check-history backed by a server-lifetime artifact store")
+		longiCache   = flag.Int("longi-cache", 0, "artifact-store entry bound for -longi (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -76,14 +81,19 @@ func run() int {
 		obsOpts = append(obsOpts, obs.WithSink(traceSink))
 	}
 
-	srv := serve.New(serve.Options{
+	srvOpts := serve.Options{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		PerAppTimeout: *timeout,
 		MaxRetries:    *retries,
 		RetryBackoff:  *backoff,
 		Observer:      obs.New(obsOpts...),
-	})
+	}
+	if *longiFlag {
+		srvOpts.Longi = &longi.Config{}
+		srvOpts.LongiCacheEntries = *longiCache
+	}
+	srv := serve.New(srvOpts)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Print(err)

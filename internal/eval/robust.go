@@ -140,6 +140,28 @@ type appJob struct {
 	run   func(ctx context.Context, checker *core.Checker) (*core.Report, error)
 }
 
+// Job is one unit of work for RunJobs: a named analysis closure plus
+// its ground-truth label (zero truth when unlabeled).
+type Job struct {
+	Name  string
+	Truth synth.GroundTruth
+	Run   func(ctx context.Context, checker *core.Checker) (*core.Report, error)
+}
+
+// RunJobs drives the robust worker pool — per-worker checkers over a
+// shared analysis cache and ESA stat scope, per-attempt timeouts,
+// bounded retries, prompt cancellation — over arbitrary jobs instead
+// of a Dataset. It is the generalized core of EvaluateCorpusRobust,
+// exported for callers that wrap the pipeline (the longitudinal engine
+// runs every app *version* as one job here).
+func RunJobs(ctx context.Context, jobs []Job, opts RunOptions) (*CorpusResult, RunStats, error) {
+	internal := make([]appJob, len(jobs))
+	for i, j := range jobs {
+		internal[i] = appJob{name: j.Name, truth: j.Truth, run: j.Run}
+	}
+	return runRobust(ctx, internal, opts)
+}
+
 // EvaluateCorpusRobust is the fault-tolerant corpus runner: every app
 // is analyzed in isolation (a panic or timeout in one cannot take down
 // the run), hard failures get bounded retries, and canceling ctx

@@ -1,0 +1,357 @@
+package longi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ppchecker/internal/apk"
+	"ppchecker/internal/core"
+	"ppchecker/internal/desc"
+	"ppchecker/internal/libdetect"
+	"ppchecker/internal/policy"
+	"ppchecker/internal/static"
+)
+
+// Artifact-store stage names. These are the cache's domain separators,
+// distinct from core.Stage (which names report degradations): the
+// pipeline's seven runtime stages collapse into four cacheable
+// computations — extract+policy, desc, static+taint+libs, detect.
+const (
+	stagePolicy = "policy"
+	stageDesc   = "desc"
+	stageStatic = "static"
+	stageDetect = "detect"
+)
+
+// Serialized stage outputs. Everything in them is plain exported data,
+// so a JSON round trip is lossless — the engine relies on that to make
+// a freshly computed artifact and a reloaded one structurally
+// identical (see putArtifact).
+type policyArtifact struct {
+	Analysis *policy.Analysis `json:"analysis"`
+}
+
+type descArtifact struct {
+	Result *desc.Result `json:"result"`
+}
+
+type staticArtifact struct {
+	Result *static.Result      `json:"result"`
+	Libs   []libdetect.Library `json:"libs"`
+}
+
+type detectArtifact struct {
+	Incomplete   []core.IncompleteFinding    `json:"incomplete"`
+	Incorrect    []core.IncorrectFinding     `json:"incorrect"`
+	Inconsistent []core.InconsistencyFinding `json:"inconsistent"`
+}
+
+// CacheStats counts artifact-store traffic. It is execution metadata,
+// not analysis output: the differential oracle compares reports and
+// run stats, never cache stats (those are exactly what differs between
+// a cold and a delta run).
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	StoreErrors int64 `json:"store_errors"`
+}
+
+// Lookups is the total number of stage-cache probes.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate is Hits/Lookups in [0,1]; 0 when nothing was looked up.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Engine runs the content-addressed incremental pipeline. It is
+// stateless apart from the store handle, the config fingerprint, and
+// atomic counters, so one engine serves any number of concurrent
+// workers; per-worker state (analyzers) lives in the core.Checker each
+// caller passes in, which must be built from Config.CheckerOptions().
+type Engine struct {
+	store Store
+	cfg   Config
+	fp    []byte
+
+	hits, misses, puts, storeErrs atomic.Int64
+
+	// stageHook, when set by a test, runs before each stage compute
+	// (cache hits bypass it); returning an error fails the stage. It
+	// exists to prove failure paths — timeouts, panics, exhausted retry
+	// budgets — never write artifacts.
+	stageHook func(ctx context.Context, stage string) error
+}
+
+// NewEngine builds an engine over the given artifact store and checker
+// configuration.
+func NewEngine(store Store, cfg Config) *Engine {
+	return &Engine{store: store, cfg: cfg, fp: cfg.Fingerprint()}
+}
+
+// Config returns the engine's checker configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats snapshots the cache counters accumulated so far.
+func (e *Engine) Stats() CacheStats {
+	return CacheStats{
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Puts:        e.puts.Load(),
+		StoreErrors: e.storeErrs.Load(),
+	}
+}
+
+// CheckVersion analyzes one app version through the artifact store:
+// each stage's output is fetched by content address when present and
+// computed (then stored) when not. The report matches core.CheckSafe
+// finding-for-finding on a healthy run, except that it carries no
+// Timings — a longitudinal report must be bit-identical however its
+// stages were satisfied, and wall-clock timings are the one field that
+// never could be.
+//
+// Failure handling mirrors CheckSafe: a failed stage degrades the
+// report and the rest of the pipeline continues. A failed or partial
+// stage output is NEVER stored — the store holds only complete,
+// successful computations — so a version that degraded under a timeout
+// or an exhausted retry budget leaves no trace to poison later runs.
+func (e *Engine) CheckVersion(ctx context.Context, checker *core.Checker, app *core.App) (*core.Report, error) {
+	if app == nil {
+		return nil, errors.New("longi: nil app")
+	}
+	if checker == nil {
+		return nil, errors.New("longi: nil checker")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &core.Report{App: core.AppName(app)}
+
+	// Policy: extraction + NLP, keyed by the raw policy bytes.
+	pkey := StageKey(stagePolicy, e.fp, []byte(app.PolicyHTML))
+	var pol policyArtifact
+	policyOK := false
+	if loadArtifact(e, stagePolicy, pkey, &pol) {
+		policyOK = true
+	} else if e.stage(ctx, r, core.StagePolicy, stagePolicy, func() error {
+		a, err := checker.PolicyStage(app.PolicyHTML)
+		if err != nil {
+			return err
+		}
+		pol.Analysis = a
+		return nil
+	}) {
+		putArtifact(e, stagePolicy, pkey, &pol)
+		policyOK = true
+	}
+	if policyOK {
+		r.Policy = pol.Analysis
+	}
+
+	// Description, keyed by the description bytes.
+	dkey := StageKey(stageDesc, e.fp, []byte(app.Description))
+	var de descArtifact
+	descOK := false
+	if loadArtifact(e, stageDesc, dkey, &de) {
+		descOK = true
+	} else if e.stage(ctx, r, core.StageDesc, stageDesc, func() error {
+		de.Result = checker.DescStage(app.Description)
+		return nil
+	}) {
+		putArtifact(e, stageDesc, dkey, &de)
+		descOK = true
+	}
+	if descOK {
+		r.Desc = de.Result
+	}
+
+	// Static + taint + libs as one artifact, keyed by the encoded APK
+	// (manifest + dex in the deterministic container layout).
+	skey := "no-apk"
+	staticOK := true
+	if app.APK != nil {
+		staticOK = false
+		apkBytes, err := apk.Encode(app.APK)
+		if err != nil {
+			r.AddDegraded(&core.StageError{
+				Stage: core.StageStatic, App: r.App,
+				Err: fmt.Errorf("encode apk for content address: %w", err),
+			})
+		} else {
+			key := StageKey(stageStatic, e.fp, apkBytes)
+			var st staticArtifact
+			if loadArtifact(e, stageStatic, key, &st) {
+				staticOK = true
+			} else if e.stage(ctx, r, core.StageStatic, stageStatic, func() error {
+				res, err := checker.StaticStage(ctx, app.APK)
+				if err != nil {
+					return err
+				}
+				libs, err := checker.LibsStage(app.APK)
+				if err != nil {
+					return err
+				}
+				st.Result, st.Libs = res, libs
+				return nil
+			}) {
+				putArtifact(e, stageStatic, key, &st)
+				staticOK = true
+			}
+			if staticOK {
+				r.Static, r.Libs = st.Result, st.Libs
+				skey = key
+			}
+		}
+	}
+
+	// Detectors, gated on a usable policy analysis exactly like
+	// CheckSafe. The artifact is keyed by the upstream stage keys plus
+	// the library-policy set; it is only cached when every upstream
+	// analysis is complete — findings over a degraded pipeline are
+	// partial outputs and must not outlive this run.
+	if policyOK {
+		if descOK && staticOK {
+			tkey := StageKey(stageDetect, e.fp,
+				[]byte(pkey), []byte(dkey), []byte(skey), libPolicyBytes(app.LibPolicies))
+			var det detectArtifact
+			if loadArtifact(e, stageDetect, tkey, &det) {
+				r.Incomplete, r.Incorrect, r.Inconsistent = det.Incomplete, det.Incorrect, det.Inconsistent
+			} else if e.stage(ctx, r, core.StageDetect, stageDetect, func() error {
+				checker.DetectStage(app, r)
+				det = detectArtifact{
+					Incomplete: r.Incomplete, Incorrect: r.Incorrect, Inconsistent: r.Inconsistent,
+				}
+				return nil
+			}) {
+				putArtifact(e, stageDetect, tkey, &det)
+				r.Incomplete, r.Incorrect, r.Inconsistent = det.Incomplete, det.Incorrect, det.Inconsistent
+			}
+		} else {
+			e.stage(ctx, r, core.StageDetect, stageDetect, func() error {
+				checker.DetectStage(app, r)
+				return nil
+			})
+		}
+	}
+	if r.Policy == nil {
+		// Downstream consumers (renderers) dereference Policy; mirror
+		// CheckSafe's nil-safety fallback.
+		r.Policy = &policy.Analysis{}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// stage runs one computation behind panic recovery and a cancellation
+// check, recording failures as report degradations under the matching
+// core stage. Longitudinal stages record no timings (see CheckVersion).
+func (e *Engine) stage(ctx context.Context, r *core.Report, s core.Stage, name string, fn func() error) bool {
+	if err := ctx.Err(); err != nil {
+		r.AddDegraded(&core.StageError{Stage: s, App: r.App, Err: err})
+		return false
+	}
+	run := fn
+	if e.stageHook != nil {
+		hook := e.stageHook
+		run = func() error {
+			if err := hook(ctx, name); err != nil {
+				return err
+			}
+			return fn()
+		}
+	}
+	err, recovered := recoverStage(run)
+	if err != nil {
+		r.AddDegraded(&core.StageError{Stage: s, App: r.App, Err: err, Recovered: recovered})
+		return false
+	}
+	return true
+}
+
+// recoverStage invokes fn, converting a panic into an error (the
+// engine-side twin of core's runRecovered).
+func recoverStage(fn func() error) (err error, recovered bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+			recovered = true
+		}
+	}()
+	return fn(), false
+}
+
+// loadArtifact fetches and decodes one artifact. Store errors and
+// corrupt payloads are both treated as misses — the stage recomputes —
+// with the error counted. Decoding goes through a fresh value so a
+// corrupt payload can never leave *out half-populated.
+func loadArtifact[T any](e *Engine, stage, key string, out *T) bool {
+	data, ok, err := e.store.Get(stage, key)
+	if err != nil {
+		e.storeErrs.Add(1)
+	}
+	if err != nil || !ok {
+		e.misses.Add(1)
+		return false
+	}
+	var fresh T
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		e.storeErrs.Add(1)
+		e.misses.Add(1)
+		return false
+	}
+	*out = fresh
+	e.hits.Add(1)
+	return true
+}
+
+// putArtifact serializes and stores one successful stage output, and —
+// crucially for the delta-vs-cold bit-identity bar — replaces the
+// caller's value with its own JSON round trip, so the report assembled
+// from a fresh compute is structurally identical to one assembled from
+// a future cache hit (nil-vs-empty slices and any other encoding
+// normalization included). A store write failure only loses the cache
+// entry; the computed value remains usable.
+func putArtifact[T any](e *Engine, stage, key string, art *T) {
+	data, err := json.Marshal(art)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	var fresh T
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	*art = fresh
+	if err := e.store.Put(stage, key, data); err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	e.puts.Add(1)
+}
+
+// libPolicyBytes canonically frames the app's library-policy set (an
+// input to the detect stage that no other stage key covers).
+func libPolicyBytes(m map[string]string) []byte {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sections := make([][]byte, 0, 2*len(names))
+	for _, n := range names {
+		sections = append(sections, []byte(n), []byte(m[n]))
+	}
+	return Frame("lib-policies", sections...)
+}

@@ -1,0 +1,215 @@
+package longi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/synth"
+)
+
+// reportJSON serializes a report with its Timings stripped — the one
+// field CheckSafe populates and the longitudinal engine deliberately
+// does not.
+func reportJSON(t *testing.T, r *core.Report) []byte {
+	t.Helper()
+	clone := *r
+	clone.Timings = nil
+	b, err := json.Marshal(&clone)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return b
+}
+
+// TestCheckVersionMatchesCheckSafe proves the incremental engine is a
+// drop-in for the monolithic pipeline on healthy inputs: for a slice
+// of firehose apps, CheckVersion (cold store) and CheckSafe produce
+// the same findings, analyses, and degradation state. Because the
+// engine canonicalizes fresh computes through a JSON round trip, the
+// comparison also round-trips the CheckSafe report, which erases only
+// encoding-invisible differences (nil vs empty slices).
+func TestCheckVersionMatchesCheckSafe(t *testing.T) {
+	fh := synth.NewFirehose(99)
+	eng := NewEngine(NewMemStore(0), Config{})
+	checker := core.NewChecker(eng.Config().CheckerOptions()...)
+	ref := core.NewChecker(eng.Config().CheckerOptions()...)
+	ctx := context.Background()
+
+	for i := int64(0); i < 16; i++ {
+		ga, err := fh.App(i)
+		if err != nil {
+			t.Fatalf("app %d: %v", i, err)
+		}
+		got, err := eng.CheckVersion(ctx, checker, ga.App)
+		if err != nil {
+			t.Fatalf("app %d: CheckVersion: %v", i, err)
+		}
+		want, err := ref.CheckSafe(ctx, ga.App)
+		if err != nil {
+			t.Fatalf("app %d: CheckSafe: %v", i, err)
+		}
+		// Round-trip the reference the same way the engine's artifact
+		// store does, so the comparison is encoding-canonical.
+		var wantCanon core.Report
+		if err := json.Unmarshal(reportJSON(t, want), &wantCanon); err != nil {
+			t.Fatalf("app %d: canonicalize: %v", i, err)
+		}
+		g, w := reportJSON(t, got), reportJSON(t, &wantCanon)
+		if !bytes.Equal(g, w) {
+			t.Errorf("app %d: CheckVersion != CheckSafe\n got: %s\nwant: %s", i, g, w)
+		}
+	}
+	if s := eng.Stats(); s.Puts == 0 {
+		t.Fatalf("cold run stored no artifacts: %+v", s)
+	}
+}
+
+// TestCheckVersionCacheHitIdentical proves that re-analyzing the same
+// version against the warm store returns a byte-identical report
+// without recomputing any stage.
+func TestCheckVersionCacheHitIdentical(t *testing.T) {
+	fh := synth.NewFirehose(7)
+	eng := NewEngine(NewMemStore(0), Config{})
+	checker := core.NewChecker(eng.Config().CheckerOptions()...)
+	ctx := context.Background()
+
+	ga, err := fh.App(1) // archetype with missed info → findings present
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.CheckVersion(ctx, checker, ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats()
+
+	// Second pass must be all hits, no computes: poison the hook so any
+	// compute fails loudly.
+	eng.stageHook = func(ctx context.Context, stage string) error {
+		t.Errorf("stage %q recomputed on warm store", stage)
+		return nil
+	}
+	second, err := eng.CheckVersion(ctx, checker, ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Stats()
+	if got, want := warm.Hits-cold.Hits, int64(4); got != want {
+		t.Errorf("warm pass hits = %d, want %d", got, want)
+	}
+	if warm.Puts != cold.Puts {
+		t.Errorf("warm pass stored artifacts: %d -> %d", cold.Puts, warm.Puts)
+	}
+	a, b := reportJSON(t, first), reportJSON(t, second)
+	if !bytes.Equal(a, b) {
+		t.Errorf("warm report differs from cold:\ncold: %s\nwarm: %s", a, b)
+	}
+	if !second.HasProblem() {
+		t.Error("archetype 1 app should carry findings")
+	}
+}
+
+// TestStageKeyConfigSeparation: the same inputs under a different
+// checker configuration must never share artifacts.
+func TestStageKeyConfigSeparation(t *testing.T) {
+	store := NewMemStore(0)
+	a := NewEngine(store, Config{})
+	b := NewEngine(store, Config{SynonymExpansion: true})
+	fh := synth.NewFirehose(3)
+	ga, err := fh.App(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := a.CheckVersion(ctx, core.NewChecker(a.Config().CheckerOptions()...), ga.App); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CheckVersion(ctx, core.NewChecker(b.Config().CheckerOptions()...), ga.App); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Stats(); s.Hits != 0 {
+		t.Errorf("different config hit the other config's artifacts: %+v", s)
+	}
+}
+
+// TestDirStoreRoundTrip exercises the durable store through the
+// engine: a second engine over the same directory must hit every
+// artifact the first one stored.
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := synth.NewFirehose(11)
+	ga, err := fh.App(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng1 := NewEngine(store1, Config{})
+	r1, err := eng1.CheckVersion(ctx, core.NewChecker(eng1.Config().CheckerOptions()...), ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(store2, Config{})
+	eng2.stageHook = func(ctx context.Context, stage string) error {
+		t.Errorf("stage %q recomputed against durable warm store", stage)
+		return nil
+	}
+	r2, err := eng2.CheckVersion(ctx, core.NewChecker(eng2.Config().CheckerOptions()...), ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng2.Stats(); s.Misses != 0 {
+		t.Errorf("durable store missed: %+v", s)
+	}
+	a, b := reportJSON(t, r1), reportJSON(t, r2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("durable round trip changed the report:\n1: %s\n2: %s", a, b)
+	}
+}
+
+// TestCorruptArtifactIsMissNotError: a truncated artifact file must
+// degrade to a recompute that still yields the cold-run report.
+func TestCorruptArtifactIsMissNotError(t *testing.T) {
+	store := NewMemStore(0)
+	eng := NewEngine(store, Config{})
+	fh := synth.NewFirehose(5)
+	ga, err := fh.App(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	checker := core.NewChecker(eng.Config().CheckerOptions()...)
+	r1, err := eng.CheckVersion(ctx, checker, ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every stored artifact in place.
+	store.mu.Lock()
+	for k := range store.m {
+		store.m[k] = []byte(`{"truncated`)
+	}
+	store.mu.Unlock()
+
+	r2, err := eng.CheckVersion(ctx, checker, ga.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.StoreErrors == 0 {
+		t.Error("corrupt artifacts went unnoticed in stats")
+	}
+	a, b := reportJSON(t, r1), reportJSON(t, r2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("recompute after corruption changed the report:\n1: %s\n2: %s", a, b)
+	}
+}

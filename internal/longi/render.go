@@ -1,0 +1,40 @@
+package longi
+
+import (
+	"io"
+
+	"ppchecker/internal/report"
+)
+
+// Document converts a history into the report package's serializable
+// form.
+func (h *History) Document() *report.HistoryDocument {
+	drift := make([]report.DriftJSON, 0, len(h.Drift))
+	for _, d := range h.Drift {
+		drift = append(drift, report.DriftJSON{
+			FromVersion:   d.FromVersion,
+			ToVersion:     d.ToVersion,
+			Class:         string(d.Class),
+			Kind:          d.Kind,
+			Info:          d.Info,
+			Detail:        d.Detail,
+			PolicyChanged: d.PolicyChanged,
+			DescChanged:   d.DescChanged,
+			CodeChanged:   d.CodeChanged,
+		})
+	}
+	if len(drift) == 0 {
+		drift = nil
+	}
+	return report.HistoryFromReports(h.Pkg, h.Versions, drift)
+}
+
+// WriteJSON renders the history as an indented JSON document.
+func (h *History) WriteJSON(w io.Writer) error {
+	return report.WriteHistoryJSON(w, h.Document())
+}
+
+// WriteHTML renders the history as a standalone HTML page.
+func (h *History) WriteHTML(w io.Writer) error {
+	return report.WriteHistoryHTML(w, h.Document())
+}

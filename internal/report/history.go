@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"ppchecker/internal/core"
+)
+
+// HistoryDocument is the machine-readable form of one app's analyzed
+// release chain: a per-version report document plus the cross-version
+// drift findings. The field shapes are plain so the document does not
+// depend on the longitudinal engine's types — the engine converts into
+// this form (report is a leaf package).
+type HistoryDocument struct {
+	App      string      `json:"app"`
+	Versions []*Document `json:"versions"`
+	Drift    []DriftJSON `json:"drift,omitempty"`
+}
+
+// DriftJSON is one cross-version drift finding.
+type DriftJSON struct {
+	FromVersion int    `json:"from_version"`
+	ToVersion   int    `json:"to_version"`
+	Class       string `json:"class"`
+	Kind        string `json:"kind"`
+	Info        string `json:"info"`
+	Detail      string `json:"detail"`
+
+	PolicyChanged bool `json:"policy_changed"`
+	DescChanged   bool `json:"desc_changed"`
+	CodeChanged   bool `json:"code_changed"`
+}
+
+// HistoryFromReports builds a history document from per-version core
+// reports (index v-1 = version v; a nil report renders as a null
+// version) and pre-built drift records.
+func HistoryFromReports(app string, versions []*core.Report, drift []DriftJSON) *HistoryDocument {
+	h := &HistoryDocument{App: app, Drift: drift}
+	for _, r := range versions {
+		if r == nil {
+			h.Versions = append(h.Versions, nil)
+			continue
+		}
+		h.Versions = append(h.Versions, FromReport(r))
+	}
+	return h
+}
+
+// WriteHistoryJSON emits the history document as indented JSON.
+func WriteHistoryJSON(w io.Writer, h *HistoryDocument) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h)
+}
+
+// WriteHistoryHTML emits a standalone HTML page: the drift timeline
+// first (that is what a longitudinal analyst came for), then a compact
+// per-version verdict table.
+func WriteHistoryHTML(w io.Writer, h *HistoryDocument) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><title>PPChecker history: %s</title>\n", html.EscapeString(h.App))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 60em; margin: 2em auto; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+.ok { color: #2e7d32; } .bad { color: #c62828; } .warn { color: #e65100; }
+li { margin: .3em 0; } code { background: #f2f2f2; padding: 0 .2em; }
+table { border-collapse: collapse; } td, th { padding: .2em .6em; border-bottom: 1px solid #ddd; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>PPChecker history: %s (%d versions)</h1>\n",
+		html.EscapeString(h.App), len(h.Versions))
+
+	if len(h.Drift) == 0 {
+		b.WriteString(`<p class="ok">No compliance drift across the release chain.</p>` + "\n")
+	} else {
+		fmt.Fprintf(&b, `<p class="bad">%d drift finding(s) across the release chain.</p>`+"\n", len(h.Drift))
+		b.WriteString("<h2>Drift timeline</h2>\n<ul>\n")
+		for _, d := range h.Drift {
+			cls := "bad"
+			if d.Class == "resolved" {
+				cls = "ok"
+			}
+			var changed []string
+			for _, c := range []struct {
+				on   bool
+				name string
+			}{{d.PolicyChanged, "policy"}, {d.DescChanged, "description"}, {d.CodeChanged, "code"}} {
+				if c.on {
+					changed = append(changed, c.name)
+				}
+			}
+			delta := "nothing changed"
+			if len(changed) > 0 {
+				delta = strings.Join(changed, ", ") + " changed"
+			}
+			fmt.Fprintf(&b, `<li class=%q>v%d&rarr;v%d <b>%s</b>: %s <i>(%s)</i></li>`+"\n",
+				cls, d.FromVersion, d.ToVersion,
+				html.EscapeString(d.Class), html.EscapeString(d.Detail),
+				html.EscapeString(delta))
+		}
+		b.WriteString("</ul>\n")
+	}
+
+	b.WriteString("<h2>Per-version verdicts</h2>\n<table>\n" +
+		"<tr><th align=\"left\">version</th><th align=\"left\">verdict</th>" +
+		"<th align=\"right\">incomplete</th><th align=\"right\">incorrect</th><th align=\"right\">inconsistent</th></tr>\n")
+	for i, d := range h.Versions {
+		if d == nil {
+			fmt.Fprintf(&b, "<tr><td>v%d</td><td class=\"warn\">not analyzed</td><td></td><td></td><td></td></tr>\n", i+1)
+			continue
+		}
+		verdict, cls := "clean", "ok"
+		switch {
+		case d.Partial:
+			verdict, cls = "partial", "warn"
+		case d.Problem:
+			verdict, cls = "questionable", "bad"
+		}
+		fmt.Fprintf(&b, "<tr><td>v%d</td><td class=%q>%s</td><td align=\"right\">%d</td><td align=\"right\">%d</td><td align=\"right\">%d</td></tr>\n",
+			i+1, cls, verdict, len(d.Incomplete), len(d.Incorrect), len(d.Inconsistent))
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/sensitive"
+)
+
+func testHistory() *HistoryDocument {
+	v1 := &core.Report{App: "com.example.app"}
+	v2 := &core.Report{
+		App: "com.example.app",
+		Incomplete: []core.IncompleteFinding{{
+			Via: core.ViaCode, Info: sensitive.InfoLocation,
+		}},
+	}
+	return HistoryFromReports("com.example.app",
+		[]*core.Report{v1, v2, nil},
+		[]DriftJSON{{
+			FromVersion: 1, ToVersion: 2,
+			Class: "silent-behavior-change", Kind: "incomplete",
+			Info:        "location <script>",
+			Detail:      "v2 introduced a new incomplete finding",
+			CodeChanged: true,
+		}})
+}
+
+func TestHistoryJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHistoryJSON(&buf, testHistory()); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		App      string            `json:"app"`
+		Versions []json.RawMessage `json:"versions"`
+		Drift    []DriftJSON       `json:"drift"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("document is not valid JSON: %v", err)
+	}
+	if got.App != "com.example.app" || len(got.Versions) != 3 || len(got.Drift) != 1 {
+		t.Fatalf("unexpected shape: app=%q versions=%d drift=%d",
+			got.App, len(got.Versions), len(got.Drift))
+	}
+	if string(got.Versions[2]) != "null" {
+		t.Errorf("missing version should serialize as null, got %s", got.Versions[2])
+	}
+	if got.Drift[0].Class != "silent-behavior-change" || !got.Drift[0].CodeChanged {
+		t.Errorf("drift record mangled: %+v", got.Drift[0])
+	}
+}
+
+func TestHistoryHTMLRendersAndEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHistoryHTML(&buf, testHistory()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"PPChecker history: com.example.app",
+		"silent-behavior-change",
+		"code changed",
+		"not analyzed",
+		"questionable",
+		"clean",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("history page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<script>") {
+		t.Error("drift info not HTML-escaped")
+	}
+}
+
+func TestHistoryHTMLCleanChain(t *testing.T) {
+	h := HistoryFromReports("com.clean.app",
+		[]*core.Report{{App: "com.clean.app"}, {App: "com.clean.app"}}, nil)
+	var buf bytes.Buffer
+	if err := WriteHistoryHTML(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No compliance drift") {
+		t.Error("clean chain page missing the all-clear line")
+	}
+}

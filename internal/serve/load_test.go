@@ -23,7 +23,16 @@ func TestServeLoadSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test skipped in -short")
 	}
-	srv := serve.New(serve.Options{Workers: 4, QueueDepth: 16, PerAppTimeout: 30 * time.Second})
+	admitted := make(chan struct{}, 32)
+	srv := serve.New(serve.Options{Workers: 4, QueueDepth: 16, PerAppTimeout: 30 * time.Second,
+		AdmissionNotify: func(queued int) {
+			if queued > 0 {
+				select {
+				case admitted <- struct{}{}:
+				default:
+				}
+			}
+		}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -101,19 +110,21 @@ func TestServeLoadSerial(t *testing.T) {
 		Name:       "com.example.lastone",
 		PolicyHTML: strings.Repeat("<p>We collect your location information and share your personal data with partners.</p>\n", 2000),
 	}
+	// Flush the admission signals left over from the serial run (all of
+	// those requests have completed), so the next signal is the final
+	// request's own admission — no poll loop, no sleep.
+	for len(admitted) > 0 {
+		<-admitted
+	}
 	done := make(chan int, 1)
 	go func() {
 		resp, _ := postJSON(t, base+"/check", slow)
 		done <- resp.StatusCode
 	}()
-	// Wait until the request is observably in flight — or already done:
-	// with every cache warm from the load run, it can finish inside one
-	// poll interval, so QueueLen() > 0 is only a transient state.
-	for i := 0; srv.QueueLen() == 0 && len(done) == 0; i++ {
-		if i > 1000 {
-			t.Fatal("final request never admitted")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-admitted:
+	case <-time.After(30 * time.Second):
+		t.Fatal("final request never admitted")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -15,6 +15,7 @@ import (
 	"ppchecker/internal/core"
 	"ppchecker/internal/esa"
 	"ppchecker/internal/eval"
+	"ppchecker/internal/longi"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/report"
 	"ppchecker/internal/stream"
@@ -53,6 +54,21 @@ type Options struct {
 	// degraded. The zero value uses stream.DefaultBreakerConfig; a
 	// negative Threshold disables the breaker.
 	Breaker stream.BreakerConfig
+	// Longi, when non-nil, enables /check-history backed by a
+	// server-lifetime longitudinal engine. The per-worker checkers are
+	// then derived from this config (CheckerOptions is ignored) so the
+	// artifact store's config fingerprint always matches the checkers
+	// that fill it.
+	Longi *longi.Config
+	// LongiCacheEntries bounds the in-memory artifact store backing
+	// /check-history; <= 0 means 4096 artifacts.
+	LongiCacheEntries int
+	// AdmissionNotify, when non-nil, observes every admission-queue
+	// transition with the new occupancy. It is called synchronously
+	// with the admission lock held — it must return promptly and must
+	// not call back into the server. Tests use it to synchronize on
+	// queue states instead of polling.
+	AdmissionNotify func(queued int)
 }
 
 // withDefaults fills the zero fields.
@@ -71,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Breaker.Threshold == 0 {
 		o.Breaker = stream.DefaultBreakerConfig()
+	}
+	if o.LongiCacheEntries <= 0 {
+		o.LongiCacheEntries = 4096
 	}
 	return o
 }
@@ -94,6 +113,10 @@ type job struct {
 	ctx  context.Context
 	name string
 	app  *core.App
+	// run overrides the default CheckSafe analysis when non-nil —
+	// /check-history routes versions through the longitudinal engine
+	// this way while sharing the same worker pool and admission bound.
+	run  func(ctx context.Context, c *core.Checker) (*core.Report, error)
 	done chan result // buffered(1): the worker's send never blocks
 }
 
@@ -110,6 +133,8 @@ type Server struct {
 	esaScope *esa.StatScope
 	obs      *obs.Observer
 	breaker  *stream.Breaker
+
+	longiEng *longi.Engine // nil unless Options.Longi is set
 
 	jobs    chan *job
 	mu      sync.Mutex // guards queued
@@ -133,9 +158,13 @@ func New(opts Options) *Server {
 		breaker:  stream.NewBreaker(opts.Breaker),
 		jobs:     make(chan *job, opts.QueueDepth),
 	}
+	if opts.Longi != nil {
+		s.longiEng = longi.NewEngine(longi.NewMemStore(opts.LongiCacheEntries), *opts.Longi)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/check", s.handleCheck)
 	mux.HandleFunc("/check-batch", s.handleCheckBatch)
+	mux.HandleFunc("/check-history", s.handleCheckHistory)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	// net/http/pprof registers on the default mux (imported via obs);
@@ -154,7 +183,14 @@ func New(opts Options) *Server {
 func (s *Server) Start(ln net.Listener) {
 	s.ln = ln
 	s.started = time.Now()
-	checkerOpts := append(append([]core.CheckerOption{}, s.opts.CheckerOptions...),
+	base := s.opts.CheckerOptions
+	if s.longiEng != nil {
+		// The artifact store keys by the longi config fingerprint, so the
+		// checkers must be built from that config and nothing else (the
+		// shared caches appended below never change analysis results).
+		base = s.longiEng.Config().CheckerOptions()
+	}
+	checkerOpts := append(append([]core.CheckerOption{}, base...),
 		core.WithSharedAnalysisCache(s.libCache),
 		core.WithObserver(s.obs),
 		core.WithESAStatScope(s.esaScope))
@@ -175,11 +211,14 @@ func (s *Server) Start(ln net.Listener) {
 					att.MaxRetries = 0
 					s.obs.AddCounter("serve-quarantined", 1)
 				}
-				sp := s.obs.Start(string(core.StageRun), j.name, "")
-				rep, outcome, retries := eval.CheckApp(j.ctx, checker, j.name,
-					func(ctx context.Context, c *core.Checker) (*core.Report, error) {
+				run := j.run
+				if run == nil {
+					run = func(ctx context.Context, c *core.Checker) (*core.Report, error) {
 						return c.CheckSafe(ctx, j.app)
-					}, att)
+					}
+				}
+				sp := s.obs.Start(string(core.StageRun), j.name, "")
+				rep, outcome, retries := eval.CheckApp(j.ctx, checker, j.name, run, att)
 				sp.End(spanError(rep, outcome), false)
 				if tripped := s.breaker.Observe(rep, outcome); len(tripped) > 0 {
 					s.obs.AddCounter("serve-breaker-trips", int64(len(tripped)))
@@ -237,12 +276,18 @@ func (s *Server) tryAcquire(n int) bool {
 		return false
 	}
 	s.queued += n
+	if s.opts.AdmissionNotify != nil {
+		s.opts.AdmissionNotify(s.queued)
+	}
 	return true
 }
 
 func (s *Server) release(n int) {
 	s.mu.Lock()
 	s.queued -= n
+	if s.opts.AdmissionNotify != nil {
+		s.opts.AdmissionNotify(s.queued)
+	}
 	s.mu.Unlock()
 }
 
@@ -255,9 +300,10 @@ func (s *Server) QueueLen() int {
 
 // submit queues one admitted app. The queue channel's capacity equals
 // QueueDepth, so a successful tryAcquire guarantees the send does not
-// block.
-func (s *Server) submit(ctx context.Context, req *CheckRequest, app *core.App) *job {
-	j := &job{ctx: ctx, name: req.Name, app: app, done: make(chan result, 1)}
+// block. run may be nil (plain CheckSafe).
+func (s *Server) submit(ctx context.Context, name string, app *core.App,
+	run func(context.Context, *core.Checker) (*core.Report, error)) *job {
+	j := &job{ctx: ctx, name: name, app: app, run: run, done: make(chan result, 1)}
 	s.jobs <- j
 	return j
 }
@@ -288,7 +334,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "analysis queue is full")
 		return
 	}
-	res := <-s.submit(r.Context(), &req, app).done
+	res := <-s.submit(r.Context(), req.Name, app, nil).done
 	writeJSON(w, statusFor(res.outcome), checkResponse(&req, res))
 }
 
@@ -332,7 +378,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]*job, len(apps))
 	for i, app := range apps {
-		jobs[i] = s.submit(r.Context(), &batch.Apps[i], app)
+		jobs[i] = s.submit(r.Context(), batch.Apps[i].Name, app, nil)
 	}
 	resp := BatchResponse{Apps: make([]CheckResponse, len(jobs))}
 	resp.Stats.Apps = len(jobs)
@@ -357,6 +403,96 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Stats.Skipped++
 		}
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckHistory analyzes one app's release chain through the
+// longitudinal engine and diffs consecutive versions into drift
+// findings. The chain is one admission unit (all versions fit the
+// queue or 429); version analyses share the worker pool with /check
+// traffic, and unchanged stages are served from the server-lifetime
+// artifact store.
+func (s *Server) handleCheckHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.longiEng == nil {
+		writeError(w, http.StatusNotImplemented, "longitudinal analysis is not enabled (Options.Longi)")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req HistoryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Versions) == 0 {
+		writeError(w, http.StatusBadRequest, "empty version chain")
+		return
+	}
+	apps := make([]*core.App, len(req.Versions))
+	for i := range req.Versions {
+		app, err := req.Versions[i].App()
+		if err != nil {
+			s.obs.AddCounter("serve-requests-badbundle", 1)
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("version %d: %s", i+1, err))
+			return
+		}
+		app.Name = req.Name // one app across the chain
+		apps[i] = app
+	}
+	if !s.tryAcquire(len(apps)) {
+		s.obs.AddCounter("serve-requests-rejected", 1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("chain of %d does not fit the analysis queue", len(apps)))
+		return
+	}
+	jobs := make([]*job, len(apps))
+	for i, app := range apps {
+		app := app
+		jobs[i] = s.submit(r.Context(), fmt.Sprintf("%s@v%d", req.Name, i+1), app,
+			func(ctx context.Context, c *core.Checker) (*core.Report, error) {
+				return s.longiEng.CheckVersion(ctx, c, app)
+			})
+	}
+	resp := HistoryResponse{Name: req.Name, Versions: make([]CheckResponse, len(jobs))}
+	resp.Stats.Apps = len(jobs)
+	reports := make([]*core.Report, len(jobs))
+	for i, j := range jobs {
+		res := <-j.done
+		resp.Versions[i] = checkResponse(&req.Versions[i], res)
+		resp.Versions[i].Name = j.name
+		resp.Stats.Retried += res.retries
+		if res.exhausted {
+			resp.Stats.RetryExhaustions++
+		}
+		if res.quarantined {
+			resp.Stats.Quarantined++
+		}
+		switch res.outcome {
+		case eval.OutcomeChecked:
+			resp.Stats.Checked++
+			reports[i] = res.rep
+		case eval.OutcomeDegraded:
+			resp.Stats.Degraded++
+			reports[i] = res.rep
+		case eval.OutcomeFailed:
+			resp.Stats.Failed++
+		case eval.OutcomeSkipped:
+			resp.Stats.Skipped++
+		}
+	}
+	hist := longi.History{
+		Pkg:      req.Name,
+		Versions: reports,
+		Drift:    longi.DiffHistory(req.Name, apps, reports),
+	}
+	resp.Drift = hist.Document().Drift
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -425,6 +561,13 @@ func (s *Server) publishCacheGauges() {
 	_, analyses := s.libCache.Stats()
 	s.obs.SetCounter("lib-policy-analyses", analyses)
 	s.obs.SetCounter("lib-policy-unique-texts", int64(s.libCache.Len()))
+	if s.longiEng != nil {
+		cs := s.longiEng.Stats()
+		s.obs.SetCounter("longi-artifact-hits", cs.Hits)
+		s.obs.SetCounter("longi-artifact-misses", cs.Misses)
+		s.obs.SetCounter("longi-artifact-puts", cs.Puts)
+		s.obs.SetCounter("longi-artifact-store-errors", cs.StoreErrors)
+	}
 }
 
 // Metrics returns the current snapshot with the cache gauges

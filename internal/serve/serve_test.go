@@ -253,7 +253,18 @@ func TestServeWarmCacheAcrossRequests(t *testing.T) {
 // that request with a full 200 response — no accepted work is dropped
 // — and afterwards the listener is closed and the workers are gone.
 func TestServeGracefulDrain(t *testing.T) {
-	srv := serve.New(serve.Options{Workers: 1, QueueDepth: 2})
+	// AdmissionNotify replaces a QueueLen poll loop: the test learns the
+	// request was admitted the moment it happens, with no sleep to race.
+	admitted := make(chan struct{}, 4)
+	srv := serve.New(serve.Options{Workers: 1, QueueDepth: 2,
+		AdmissionNotify: func(queued int) {
+			if queued > 0 {
+				select {
+				case admitted <- struct{}{}:
+				default:
+				}
+			}
+		}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -274,11 +285,10 @@ func TestServeGracefulDrain(t *testing.T) {
 		resp, body := postJSON(t, base+"/check", slow)
 		done <- outcome{resp.StatusCode, body}
 	}()
-	for i := 0; srv.QueueLen() == 0; i++ {
-		if i > 1000 {
-			t.Fatal("request never admitted")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-admitted:
+	case <-time.After(30 * time.Second):
+		t.Fatal("request never admitted")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

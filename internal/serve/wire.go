@@ -6,13 +6,18 @@
 //
 // Endpoints:
 //
-//	POST /check        one app bundle in, one JSON report out
-//	POST /check-batch  a list of bundles in, per-app reports + counts out
-//	GET  /healthz      health state machine (JSON: ok/degraded/draining
-//	                   with queue depth and circuit-breaker state;
-//	                   draining answers 503)
-//	GET  /metrics      the obs exposition (per-stage table + run counters)
-//	GET  /debug/pprof  net/http/pprof
+//	POST /check          one app bundle in, one JSON report out
+//	POST /check-batch    a list of bundles in, per-app reports + counts out
+//	POST /check-history  one app's release chain in, per-version reports
+//	                     plus cross-version drift findings out (requires
+//	                     Options.Longi; unchanged sections of consecutive
+//	                     versions are served from the server-lifetime
+//	                     artifact store instead of re-analyzed)
+//	GET  /healthz        health state machine (JSON: ok/degraded/draining
+//	                     with queue depth and circuit-breaker state;
+//	                     draining answers 503)
+//	GET  /metrics        the obs exposition (per-stage table + run counters)
+//	GET  /debug/pprof    net/http/pprof
 //
 // Admission is bounded: a worker pool of Options.Workers checkers
 // drains a queue of at most Options.QueueDepth outstanding apps, and
@@ -124,6 +129,30 @@ type BatchStats struct {
 type BatchResponse struct {
 	Apps  []CheckResponse `json:"apps"`
 	Stats BatchStats      `json:"stats"`
+}
+
+// HistoryRequest is the /check-history input: one app's release chain,
+// oldest version first. Each version is a full bundle (policy,
+// description, APK, library policies) — the versions are independent
+// inputs; the server's longitudinal engine dedupes unchanged sections
+// against its artifact store.
+type HistoryRequest struct {
+	// Name is the app's package name; it overrides any per-version name.
+	Name string `json:"name"`
+	// Versions is the release chain, index 0 = version 1.
+	Versions []CheckRequest `json:"versions"`
+}
+
+// HistoryResponse is the /check-history output.
+type HistoryResponse struct {
+	Name string `json:"name"`
+	// Versions is index-aligned with the request's chain.
+	Versions []CheckResponse `json:"versions"`
+	// Drift is the cross-version diff of the completed reports.
+	// Transitions touching a failed or partial version emit no drift
+	// (absence of a finding must mean "resolved", not "stage died").
+	Drift []report.DriftJSON `json:"drift,omitempty"`
+	Stats BatchStats         `json:"stats"`
 }
 
 // Health states, in decreasing order of welcome.

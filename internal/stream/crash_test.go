@@ -80,6 +80,11 @@ func TestCrashResumeBitIdentical(t *testing.T) {
 	}
 	// Wait until the journal shows real progress, then SIGKILL — the
 	// hardest stop there is: no signal handler, no drain, no flush.
+	// This file poll is deliberate, not a deflake oversight: the child
+	// is a separate OS process, so no in-process hook or channel can
+	// observe it; the journal file itself is the only shared state, and
+	// watching it is exactly the property under test (durable bytes on
+	// disk at the moment of death).
 	deadline := time.Now().Add(15 * time.Second)
 	for {
 		if time.Now().After(deadline) {

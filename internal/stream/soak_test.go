@@ -53,11 +53,12 @@ func TestBoundedGrowthVerdict(t *testing.T) {
 }
 
 // TestHeapSamplerPublishes: the sampler feeds the observer gauges and
-// retains its series.
+// retains its series. No sleep needed: the loop samples once before
+// its first select and Stop takes a final sample, so two samples are
+// guaranteed however fast Stop lands.
 func TestHeapSamplerPublishes(t *testing.T) {
 	observer := obs.New()
 	h := StartHeapSampler(observer, 10*time.Millisecond)
-	time.Sleep(35 * time.Millisecond)
 	h.Stop()
 	if len(h.Samples()) < 2 {
 		t.Fatalf("only %d samples", len(h.Samples()))

@@ -59,6 +59,11 @@ type Options struct {
 	// over an endless firehose is the contract — so this is the only
 	// way to see them.
 	OnResult func(Result)
+	// onStall, when non-nil, observes each backpressure stall the
+	// moment it is recorded. Test hook: it lets a test gate analysis
+	// until a stall has definitely happened instead of racing a timer
+	// against the scheduler.
+	onStall func()
 }
 
 // Result is one completed (or replayed-over) app.
@@ -222,6 +227,9 @@ func Run(ctx context.Context, src Source, opts Options) (Stats, error) {
 				stats.BackpressureStalls++
 				mu.Unlock()
 				opts.Observer.AddCounter("stream-backpressure-stalls", 1)
+				if opts.onStall != nil {
+					opts.onStall()
+				}
 				select {
 				case queue <- item:
 				case <-drainCh(opts.Drain):

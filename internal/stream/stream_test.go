@@ -7,7 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"ppchecker/internal/core"
 	"ppchecker/internal/eval"
@@ -190,15 +189,16 @@ func TestRunStaleHashReanalyzes(t *testing.T) {
 	}
 }
 
-// sleepSource emits n trivial items whose analysis sleeps, to force
-// queue buildup.
-type sleepSource struct {
-	n     int
-	next  int
-	sleep time.Duration
+// gatedSource emits n trivial items whose analysis blocks until the
+// release channel closes, so queue buildup is guaranteed rather than
+// raced against a timer.
+type gatedSource struct {
+	n       int
+	next    int
+	release <-chan struct{}
 }
 
-func (s *sleepSource) Next(ctx context.Context) (*Item, error) {
+func (s *gatedSource) Next(ctx context.Context) (*Item, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -207,13 +207,13 @@ func (s *sleepSource) Next(ctx context.Context) (*Item, error) {
 	}
 	i := s.next
 	s.next++
-	name := "sleep" + string(rune('a'+i))
+	name := "gated" + string(rune('a'+i))
 	return &Item{
 		Name: name,
 		Hash: HashBytes([]byte(name)),
 		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
 			select {
-			case <-time.After(s.sleep):
+			case <-s.release:
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -222,14 +222,24 @@ func (s *sleepSource) Next(ctx context.Context) (*Item, error) {
 	}, nil
 }
 
-// TestRunBackpressure: a producer faster than one slow worker stalls on
-// the bounded queue, and the stalls and high-water mark are accounted.
+// TestRunBackpressure: with every worker gated, the producer must fill
+// the 1-deep queue and stall; only once the stall is recorded does the
+// gate open. Deterministic under any scheduler: the stall is a
+// consequence of the gate, not of a sleep being "slow enough".
 func TestRunBackpressure(t *testing.T) {
 	observer := obs.New()
-	stats, err := Run(context.Background(), &sleepSource{n: 8, sleep: 10 * time.Millisecond}, Options{
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-stalled // a stall has been recorded: let the workers drain
+		close(release)
+	}()
+	stats, err := Run(context.Background(), &gatedSource{n: 8, release: release}, Options{
 		Workers:    1,
 		QueueDepth: 1,
 		Observer:   observer,
+		onStall:    func() { once.Do(func() { close(stalled) }) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,35 @@ func coverPhrase(info sensitive.Info, rng *rand.Rand) string {
 // buildApp materializes one planned app: policy, description, manifest,
 // bytecode, bundled libs.
 func buildApp(plan *AppPlan, rng *rand.Rand, libPolicies map[string]string) (*core.App, error) {
+	policyHTML := buildPolicyHTML(plan, rng)
+	description := buildDescription(plan, rng)
+	a, err := buildAPK(plan)
+	if err != nil {
+		return nil, err
+	}
+	// Only pass policies for libs this app actually bundles, as the
+	// pipeline would fetch them per detected lib.
+	libPol := map[string]string{}
+	for _, name := range plan.Libs {
+		if p, ok := libPolicies[name]; ok {
+			libPol[name] = p
+		}
+	}
+	return &core.App{
+		Name:        plan.Pkg,
+		PolicyHTML:  policyHTML,
+		Description: description,
+		APK:         a,
+		LibPolicies: libPol,
+	}, nil
+}
+
+// buildPolicyHTML renders the plan's privacy policy. The rng draw order
+// is part of the corpus contract (goldens and conformance tests pin the
+// generated text), so the sentence sequence below must not be reordered.
+// The churn sentences draw nothing from rng — a churn-only plan delta
+// leaves every other sentence byte-identical.
+func buildPolicyHTML(plan *AppPlan, rng *rand.Rand) string {
 	pb := NewPolicyBuilder(rng)
 	pb.Boilerplate(2)
 	for _, info := range plan.CoveredInfos {
@@ -65,27 +94,35 @@ func buildApp(plan *AppPlan, rng *rand.Rand, libPolicies map[string]string) (*co
 		pb.Disclaimer()
 	}
 	pb.Boilerplate(1 + rng.Intn(2))
+	for i := 0; i < plan.PolicyChurn; i++ {
+		pb.Add(policyChurnSentences[i%len(policyChurnSentences)])
+	}
+	return pb.HTML()
+}
 
-	description := buildDescription(plan, rng)
-	a, err := buildAPK(plan)
-	if err != nil {
-		return nil, err
-	}
-	// Only pass policies for libs this app actually bundles, as the
-	// pipeline would fetch them per detected lib.
-	libPol := map[string]string{}
-	for _, name := range plan.Libs {
-		if p, ok := libPolicies[name]; ok {
-			libPol[name] = p
-		}
-	}
-	return &core.App{
-		Name:        plan.Pkg,
-		PolicyHTML:  pb.HTML(),
-		Description: description,
-		APK:         a,
-		LibPolicies: libPol,
-	}, nil
+// policyChurnSentences are inert revision-log style sentences appended by
+// the versioned-corpus generator to model a policy edit that changes the
+// text without changing any disclosure. None of them mention a sensitive
+// resource or a data-practice verb, so the analyzed statements are
+// untouched.
+var policyChurnSentences = []string{
+	"This document was last revised to clarify its wording.",
+	"Section headings were renumbered in this revision.",
+	"Our legal team reviews this document on a regular schedule.",
+	"Formatting and typography were improved in this edition.",
+	"A table of contents will be added in a future revision.",
+	"This revision corrects several typographical mistakes.",
+}
+
+// descChurnSentences play the same role for Play-store descriptions: a
+// release-notes edit that implies no permission.
+var descChurnSentences = []string{
+	"This release includes minor bug fixes and polish.",
+	"Performance was improved across older devices.",
+	"The changelog is available on our website.",
+	"Thanks for all the feedback on the previous release.",
+	"Small translation updates are included in this version.",
+	"Startup time was reduced in this update.",
 }
 
 // buildDescription assembles the Play Store description.
@@ -99,6 +136,9 @@ func buildDescription(plan *AppPlan, rng *rand.Rand) string {
 		if trigger, ok := descTriggers[perm]; ok {
 			sents = append(sents, trigger)
 		}
+	}
+	for i := 0; i < plan.DescChurn; i++ {
+		sents = append(sents, descChurnSentences[i%len(descChurnSentences)])
 	}
 	return strings.Join(sents, "\n")
 }

@@ -186,6 +186,12 @@ type AppPlan struct {
 	// invisible under reachability analysis, a false positive without
 	// it (the reachability ablation).
 	DeadLocationCode bool
+	// PolicyChurn appends that many inert revision-log sentences to the
+	// policy: the text changes, the disclosures do not. Used by the
+	// versioned-corpus generator; zero (the default) adds nothing.
+	PolicyChurn int
+	// DescChurn is the description-side counterpart of PolicyChurn.
+	DescChurn int
 }
 
 // GroundTruth is the label set for one app.

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# deflake_stress.sh — hammer the timing-sensitive test surfaces under
+# the race detector to prove the synchronization fixes hold: the
+# stream backpressure/soak/journal tests and the serve admission/drain
+# tests run COUNT times each (50 by default, override with COUNT=n or
+# $1). Any single failure fails the script.
+#
+#   scripts/deflake_stress.sh          # 50 iterations
+#   COUNT=200 scripts/deflake_stress.sh
+#   scripts/deflake_stress.sh 10       # quick pass
+set -eu
+
+COUNT="${1:-${COUNT:-50}}"
+cd "$(dirname "$0")/.."
+
+echo "deflake stress: ${COUNT}x -race over stream + serve timing-sensitive tests"
+
+go test ./internal/stream/ -race -count="${COUNT}" \
+    -run 'TestRunBackpressure|TestHeapSamplerPublishes|TestRunDrain|TestRunFirehose|TestRunResumeBitIdentical'
+
+go test ./internal/serve/ -race -count="${COUNT}" -short \
+    -run 'TestServeGracefulDrain|TestServeConcurrentClients|TestServeCheckHistory'
+
+echo "deflake stress: all ${COUNT} iterations passed"

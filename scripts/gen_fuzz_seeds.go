@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 	writeAPKSeeds()
 	writeHTMLSeeds()
 	writeNLPSeeds()
+	writeLongiSeeds()
 }
 
 func writeDexSeeds() {
@@ -144,6 +146,30 @@ func writeNLPSeeds() {
 	emit("empty", "")
 }
 
+func writeLongiSeeds() {
+	// FuzzStageKey takes two (policy, dex, desc, config) tuples; each
+	// seed file carries eight []byte lines. The planted classes are the
+	// framing ambiguities the canonicalizer must keep apart: boundary
+	// shifts within a tuple, content migrating between sections, a
+	// config-only delta, and an equal pair (the domain-separation path).
+	emit := multiSeeder("internal/longi", "FuzzStageKey")
+	policy := []byte("<html><body><p>We collect your location.</p></body></html>")
+	dex := []byte{0x53, 0x44, 0x45, 0x58, 0x01, 0x00}
+	desc := []byte("A flashlight app.")
+	cfg := []byte(`{"threshold":0.75,"synonym_expansion":false}`)
+	emit("equal-tuples", policy, dex, desc, cfg, policy, dex, desc, cfg)
+	emit("boundary-shift", []byte("ab"), []byte("c"), nil, nil,
+		[]byte("a"), []byte("bc"), nil, nil)
+	emit("section-migration", []byte("x"), nil, nil, nil,
+		nil, []byte("x"), nil, nil)
+	emit("config-only-delta", policy, dex, desc, cfg,
+		policy, dex, desc, []byte(`{"threshold":0.75,"synonym_expansion":true}`))
+	emit("empty-vs-nul", nil, nil, nil, nil,
+		nil, nil, nil, []byte{0})
+	emit("length-prefix-edge", bytes.Repeat([]byte{0x80}, 127), nil, nil, nil,
+		bytes.Repeat([]byte{0x80}, 128), nil, nil, nil)
+}
+
 // seeder returns an emit function writing seed-<name> files for one
 // fuzz target.
 func seeder(pkg, target string) func(name string, value any) {
@@ -161,6 +187,27 @@ func seeder(pkg, target string) func(name string, value any) {
 			fmt.Fprintf(&b, "string(%q)\n", v)
 		default:
 			log.Fatalf("unsupported seed type %T", value)
+		}
+		path := filepath.Join(dir, "seed-"+name)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// multiSeeder is the multi-parameter variant of seeder: each seed file
+// carries one []byte line per fuzz-target parameter, in order.
+func multiSeeder(pkg, target string) func(name string, values ...[]byte) {
+	dir := filepath.Join(filepath.FromSlash(pkg), "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	return func(name string, values ...[]byte) {
+		var b strings.Builder
+		b.WriteString("go test fuzz v1\n")
+		for _, v := range values {
+			fmt.Fprintf(&b, "[]byte(%q)\n", v)
 		}
 		path := filepath.Join(dir, "seed-"+name)
 		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
