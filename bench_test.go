@@ -16,17 +16,22 @@ import (
 	"sync"
 	"testing"
 
+	"ppchecker/internal/actrie"
 	"ppchecker/internal/apg"
 	"ppchecker/internal/autoppg"
 	"ppchecker/internal/core"
 	"ppchecker/internal/esa"
 	"ppchecker/internal/eval"
+	"ppchecker/internal/graphdb"
+	"ppchecker/internal/htmltext"
 	"ppchecker/internal/nlp"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/policy"
+	"ppchecker/internal/sensitive"
 	"ppchecker/internal/static"
 	"ppchecker/internal/synth"
 	"ppchecker/internal/taint"
+	"ppchecker/internal/verbs"
 )
 
 var (
@@ -405,4 +410,83 @@ func BenchmarkSummaryParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(s.AppsWithProblem), "apps-with-problem")
 	b.ReportMetric(float64(len(ds.Apps))*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
+}
+
+// BenchmarkGraphQueryThroughput exercises the frozen CSR graph with the
+// query mix the analyses use: label scans, adjacency expansion over the
+// code and CFG edges, and reachability sweeps seeded at each method's
+// entry statement. It reports sustained queries/sec so CSR-layout
+// regressions show up even when end-to-end pipeline time hides them.
+func BenchmarkGraphQueryThroughput(b *testing.B) {
+	ds := paperCorpus(b)
+	p, err := apg.Build(ds.Apps[0].App.APK, apg.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := p.Frozen()
+	methods := f.NodesByLabel(apg.LabelMethod)
+	if len(methods) == 0 {
+		b.Fatal("no method nodes in frozen graph")
+	}
+	cfg := []string{apg.EdgeCFG}
+	var stmts []graphdb.NodeID
+	b.ResetTimer()
+	queries := 0
+	for i := 0; i < b.N; i++ {
+		for _, mid := range methods {
+			stmts = f.OutInto(stmts[:0], mid, apg.EdgeCode)
+			queries++
+			if len(stmts) == 0 {
+				continue
+			}
+			for _, sid := range stmts {
+				_ = f.OutDegree(sid)
+			}
+			queries += len(stmts)
+			vs := f.ReachableVisit(stmts[:1], cfg)
+			queries++
+			if len(vs.Order) == 0 {
+				b.Fatal("empty reachability from method entry")
+			}
+		}
+	}
+	b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkLexiconMatch measures Aho-Corasick lexicon screening over
+// real policy sentences: one pass per sentence answers "does any verb
+// lemma or sensitive-info term occur" plus the category bitmask union,
+// the shape the pattern and policy prefilters use instead of per-entry
+// strings.Contains scans.
+func BenchmarkLexiconMatch(b *testing.B) {
+	ds := paperCorpus(b)
+	bld := actrie.NewBuilder(true)
+	for _, lemma := range verbs.Lemmas() {
+		bld.Add(lemma, uint32(verbs.LemmaMaskOf(lemma)))
+	}
+	for _, info := range sensitive.AllInfos() {
+		bld.Add(string(info), 1<<16)
+	}
+	ac := bld.Build()
+	sents := nlp.SplitSentences(htmltext.Extract(ds.Apps[0].App.PolicyHTML))
+	if len(sents) == 0 {
+		b.Fatal("no sentences in benchmark policy")
+	}
+	b.ResetTimer()
+	var mask uint32
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		mask, hits = 0, 0
+		for _, s := range sents {
+			v := ac.TokenValues(s)
+			if v != 0 {
+				hits++
+			}
+			mask |= v
+		}
+	}
+	if hits == 0 || mask == 0 {
+		b.Fatal("lexicon automaton matched nothing in policy text")
+	}
+	b.ReportMetric(float64(len(sents))*float64(b.N)/b.Elapsed().Seconds(), "sentences/sec")
 }

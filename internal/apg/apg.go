@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ppchecker/internal/apk"
 	"ppchecker/internal/dex"
@@ -63,7 +64,10 @@ const (
 // ErrTooLarge marks a build aborted by a size guard.
 var ErrTooLarge = errors.New("apg: input exceeds analysis size limits")
 
-// APG is the built graph plus lookup maps.
+// APG is the built graph plus lookup maps. After construction the
+// graph is compiled to its frozen CSR view (Frozen); all traversal
+// queries — reachability, path search, icc-edge lookups — run against
+// that view, while G stays available as the mutable builder.
 type APG struct {
 	G   *graphdb.Graph
 	APK *apk.APK
@@ -71,7 +75,71 @@ type APG struct {
 	methodNode map[dex.MethodRef]graphdb.NodeID
 	classNode  map[dex.TypeDesc]graphdb.NodeID
 	opts       Options
+
+	frozenOnce sync.Once
+	frozen     *graphdb.Frozen
+
+	entriesOnce sync.Once
+	entries     []dex.MethodRef
+	entrySeeds  []graphdb.NodeID
+
+	reachOnce sync.Once
+	reach     *graphdb.VisitSet
+
+	reachMapOnce sync.Once
+	reachMap     map[dex.MethodRef]bool
 }
+
+// Frozen returns the CSR view of the graph, freezing it on first use.
+// The returned view is immutable and safe for concurrent readers; it
+// snapshots the graph as of the first call, so mutate (if at all) only
+// before querying.
+func (p *APG) Frozen() *graphdb.Frozen {
+	p.frozenOnce.Do(func() { p.frozen = p.G.Freeze() })
+	return p.frozen
+}
+
+// itoaSmall returns the decimal rendering of i without allocating for
+// the indexes that occur in practice (instruction indexes are bounded
+// by MaxMethodCode).
+var smallInts = func() [1024]string {
+	var a [1024]string
+	for i := range a {
+		a[i] = strconv.Itoa(i)
+	}
+	return a
+}()
+
+func itoaSmall(i int) string {
+	if i >= 0 && i < len(smallInts) {
+		return smallInts[i]
+	}
+	return strconv.Itoa(i)
+}
+
+// BuildScratch holds reusable APG build buffers. Callers running many
+// builds (the eval/serve/stream worker pools) pass one via
+// BuildCtxWith to stop re-allocating per app; a zero value is ready to
+// use and a nil scratch falls back to an internal pool.
+type BuildScratch struct {
+	stmtIDs []graphdb.NodeID
+	defs    map[int][]int
+	defRegs []int
+	kv      []string // statement property pairs; graphdb copies them out
+
+	// Arena state reused across builds when the caller owns the
+	// scratch: the graph database itself plus the APG lookup maps. A
+	// caller-provided scratch must outlive the APG built from it, and
+	// the next build from the same scratch invalidates that APG (its
+	// graph storage is reset in place). The internal pool cannot make
+	// that guarantee — pooled scratches are recycled before the APG is
+	// discarded — so the pool path allocates these fresh per build.
+	graph      *graphdb.Graph
+	methodNode map[dex.MethodRef]graphdb.NodeID
+	classNode  map[dex.TypeDesc]graphdb.NodeID
+}
+
+var buildScratchPool = sync.Pool{New: func() any { return new(BuildScratch) }}
 
 // Build constructs the APG for an app.
 func Build(a *apk.APK, opts Options) (*APG, error) {
@@ -83,18 +151,42 @@ func Build(a *apk.APK, opts Options) (*APG, error) {
 // their method, methods or images beyond the size guards — returns an
 // error instead of panicking.
 func BuildCtx(ctx context.Context, a *apk.APK, opts Options) (*APG, error) {
+	return BuildCtxWith(ctx, a, opts, nil)
+}
+
+// BuildCtxWith is BuildCtx with caller-provided build buffers; a nil
+// scratch borrows one from an internal pool.
+func BuildCtxWith(ctx context.Context, a *apk.APK, opts Options, s *BuildScratch) (*APG, error) {
 	if a == nil || a.Dex == nil {
 		return nil, errors.New("apg: nil apk or bytecode")
 	}
-	p := &APG{
-		G:          graphdb.New(),
-		APK:        a,
-		methodNode: map[dex.MethodRef]graphdb.NodeID{},
-		classNode:  map[dex.TypeDesc]graphdb.NodeID{},
-		opts:       opts,
+	p := &APG{APK: a, opts: opts}
+	if s != nil {
+		// Caller-owned scratch: reuse the whole graph arena (see
+		// BuildScratch). Reset reclaims the node, adjacency and
+		// frozen-view storage of the previous build.
+		if s.graph == nil {
+			s.graph = graphdb.New()
+			s.methodNode = make(map[dex.MethodRef]graphdb.NodeID, 64)
+			s.classNode = make(map[dex.TypeDesc]graphdb.NodeID, 16)
+		}
+		s.graph.Reset()
+		clear(s.methodNode)
+		clear(s.classNode)
+		p.G, p.methodNode, p.classNode = s.graph, s.methodNode, s.classNode
+	} else {
+		s = buildScratchPool.Get().(*BuildScratch)
+		defer buildScratchPool.Put(s)
+		nm := 0
+		for _, cls := range a.Dex.Classes {
+			nm += len(cls.Methods)
+		}
+		p.G = graphdb.New()
+		p.methodNode = make(map[dex.MethodRef]graphdb.NodeID, nm)
+		p.classNode = make(map[dex.TypeDesc]graphdb.NodeID, len(a.Dex.Classes))
 	}
 	p.G.CreateIndex("name")
-	if err := p.addStructure(ctx); err != nil {
+	if err := p.addStructure(ctx, s); err != nil {
 		return nil, err
 	}
 	if err := p.addCallEdges(); err != nil {
@@ -110,21 +202,23 @@ func BuildCtx(ctx context.Context, a *apk.APK, opts Options) (*APG, error) {
 			return nil, err
 		}
 	}
+	// Construction is complete: compile the CSR view every traversal
+	// below (reachability, path search, icc lookups) runs against.
+	p.Frozen()
 	return p, nil
 }
 
 // addStructure inserts class, method and statement nodes with
 // contains/code/cfg edges.
-func (p *APG) addStructure(ctx context.Context) error {
+func (p *APG) addStructure(ctx context.Context, s *BuildScratch) error {
 	totalStmts := 0
 	for _, cls := range p.APK.Dex.Classes {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cid := p.G.AddNode(LabelClass, map[string]string{
-			"name":  string(cls.Name),
-			"super": string(cls.Super),
-		})
+		cid := p.G.AddNodeKV(LabelClass,
+			"name", string(cls.Name),
+			"super", string(cls.Super))
 		p.classNode[cls.Name] = cid
 		for _, m := range cls.Methods {
 			if len(m.Code) > MaxMethodCode {
@@ -135,30 +229,33 @@ func (p *APG) addStructure(ctx context.Context) error {
 			if totalStmts > maxTotalStmts {
 				return fmt.Errorf("%w: image exceeds %d statements", ErrTooLarge, maxTotalStmts)
 			}
-			mid := p.G.AddNode(LabelMethod, map[string]string{
-				"name":  m.Name,
-				"sig":   m.Sig,
-				"class": string(cls.Name),
-			})
+			mid := p.G.AddNodeKV(LabelMethod,
+				"class", string(cls.Name),
+				"name", m.Name,
+				"sig", m.Sig)
 			p.methodNode[m.Ref()] = mid
 			if err := p.G.AddEdge(cid, mid, EdgeContains); err != nil {
 				return fmt.Errorf("apg: %w", err)
 			}
+			refStr := m.Ref().String()
 			// statement nodes and intra-method CFG
-			stmtIDs := make([]graphdb.NodeID, len(m.Code))
+			if cap(s.stmtIDs) < len(m.Code) {
+				s.stmtIDs = make([]graphdb.NodeID, len(m.Code))
+			}
+			stmtIDs := s.stmtIDs[:len(m.Code)]
 			for i, ins := range m.Code {
-				props := map[string]string{
-					"op":     ins.Op.String(),
-					"index":  strconv.Itoa(i),
-					"method": m.Ref().String(),
-				}
-				if ins.Op == dex.OpInvokeVirtual || ins.Op == dex.OpInvokeStatic {
-					props["target"] = ins.Method.String()
-				}
+				isInvoke := ins.Op == dex.OpInvokeVirtual || ins.Op == dex.OpInvokeStatic
+				// AddNodeKV copies the pairs into the graph's property
+				// arena, so one scratch buffer serves every statement.
+				kv := append(s.kv[:0], "index", itoaSmall(i), "method", refStr, "op", ins.Op.String())
 				if ins.Str != "" {
-					props["str"] = ins.Str
+					kv = append(kv, "str", ins.Str)
 				}
-				stmtIDs[i] = p.G.AddNode(LabelStmt, props)
+				if isInvoke {
+					kv = append(kv, "target", ins.Method.String())
+				}
+				stmtIDs[i] = p.G.AddNodeKV(LabelStmt, kv...)
+				s.kv = kv[:0]
 				if err := p.G.AddEdge(mid, stmtIDs[i], EdgeCode); err != nil {
 					return fmt.Errorf("apg: %w", err)
 				}
@@ -188,7 +285,7 @@ func (p *APG) addStructure(ctx context.Context) error {
 					}
 				}
 			}
-			if err := p.addDataDeps(m, stmtIDs); err != nil {
+			if err := p.addDataDeps(m, stmtIDs, s); err != nil {
 				return err
 			}
 		}
@@ -200,10 +297,22 @@ func (p *APG) addStructure(ctx context.Context) error {
 // dependency graph layer of §III-C1, matching the taint engine's
 // flow-insensitive register model: every definition of a register
 // links to every use of it within the method.
-func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID) error {
-	defs := map[int][]int{} // register -> defining instruction indexes
+func (p *APG) addDataDeps(m *dex.Method, stmtIDs []graphdb.NodeID, s *BuildScratch) error {
+	if s.defs == nil {
+		s.defs = map[int][]int{} // register -> defining instruction indexes
+	}
+	defs := s.defs
+	// Reset only the registers touched last time (tracked in defRegs)
+	// so the map and its per-register slices are reused across methods.
+	for _, r := range s.defRegs {
+		defs[r] = defs[r][:0]
+	}
+	s.defRegs = s.defRegs[:0]
 	for i, ins := range m.Code {
 		if regDefined(ins) >= 0 {
+			if len(defs[ins.A]) == 0 {
+				s.defRegs = append(s.defRegs, ins.A)
+			}
 			defs[ins.A] = append(defs[ins.A], i)
 		}
 	}

@@ -31,8 +31,14 @@ var uiCallbackNames = map[string]bool{
 	"onProgressChanged": true,
 }
 
-// Entries returns the entry-point methods of the app.
+// Entries returns the entry-point methods of the app. The result is
+// computed once per APG and shared; callers must not mutate it.
 func (p *APG) Entries() []dex.MethodRef {
+	p.entriesOnce.Do(p.computeEntries)
+	return p.entries
+}
+
+func (p *APG) computeEntries() {
 	var out []dex.MethodRef
 	seen := map[dex.MethodRef]bool{}
 	add := func(m *dex.Method) {
@@ -61,32 +67,56 @@ func (p *APG) Entries() []dex.MethodRef {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	p.entries = out
+	for _, e := range out {
+		if id, ok := p.methodNode[e]; ok {
+			p.entrySeeds = append(p.entrySeeds, id)
+		}
+	}
 }
 
 // reachEdgeLabels are the edges reachability follows.
 var reachEdgeLabels = []string{EdgeCalls, EdgeCallback, EdgeICC}
 
-// ReachableMethods computes the set of methods reachable from the entry
+// reachVisit computes (once per APG) the entry-point closure over the
+// frozen view; both the static collection scan and the taint engine
+// share the result.
+func (p *APG) reachVisit() *graphdb.VisitSet {
+	p.reachOnce.Do(func() {
+		p.Entries()
+		p.reach = p.Frozen().ReachableVisit(p.entrySeeds, reachEdgeLabels)
+	})
+	return p.reach
+}
+
+// MethodReachable reports whether a method is reachable from the entry
 // points over calls, callback, and icc edges — the feasibility check of
 // §III-C2 ("we do not consider those sensitive APIs to which there are
-// not feasible paths from entry points").
+// not feasible paths from entry points"). The underlying closure is
+// computed once per APG; lookups are O(1).
+func (p *APG) MethodReachable(ref dex.MethodRef) bool {
+	id, ok := p.methodNode[ref]
+	if !ok {
+		return false
+	}
+	return p.reachVisit().Has(id)
+}
+
+// ReachableMethods returns the reachable-method set as a map. It is
+// memoized and shared; callers must treat it as read-only (use
+// MethodReachable for single lookups).
 func (p *APG) ReachableMethods() map[dex.MethodRef]bool {
-	var seeds []graphdb.NodeID
-	entries := p.Entries()
-	for _, e := range entries {
-		if id, ok := p.methodNode[e]; ok {
-			seeds = append(seeds, id)
+	p.reachMapOnce.Do(func() {
+		reached := p.reachVisit()
+		out := make(map[dex.MethodRef]bool, reached.Len())
+		for ref, id := range p.methodNode {
+			if reached.Has(id) {
+				out[ref] = true
+			}
 		}
-	}
-	reached := p.G.Reachable(seeds, reachEdgeLabels)
-	out := make(map[dex.MethodRef]bool, len(reached))
-	for ref, id := range p.methodNode {
-		if reached[id] {
-			out[ref] = true
-		}
-	}
-	return out
+		p.reachMap = out
+	})
+	return p.reachMap
 }
 
 // CallPath returns one call path (as method references) from an entry
@@ -96,12 +126,13 @@ func (p *APG) CallPath(to dex.MethodRef) []dex.MethodRef {
 	if !ok {
 		return nil
 	}
+	f := p.Frozen()
 	for _, e := range p.Entries() {
 		fromID, ok := p.methodNode[e]
 		if !ok {
 			continue
 		}
-		nodes := p.G.Path(fromID, toID, reachEdgeLabels)
+		nodes := f.Path(fromID, toID, reachEdgeLabels)
 		if nodes == nil {
 			continue
 		}

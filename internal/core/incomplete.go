@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"ppchecker/internal/sensitive"
@@ -45,7 +46,7 @@ func (c *Checker) detectIncomplete(app *App, r *Report) {
 	for info := range codeInfos {
 		ordered = append(ordered, info)
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	slices.Sort(ordered)
 	for _, info := range ordered {
 		if c.similarTo(string(info), ppInfos) {
 			continue

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"ppchecker/internal/esa"
 	"ppchecker/internal/sensitive"
 	"ppchecker/internal/verbs"
@@ -24,7 +22,7 @@ func (c *Checker) detectIncorrect(app *App, r *Report) {
 				r.Incorrect = append(r.Incorrect, IncorrectFinding{
 					Via: ViaDescription, Info: info, Category: cat,
 					Sentence: sentence,
-					Evidence: fmt.Sprintf("the description implies the app uses %s", info),
+					Evidence: "the description implies the app uses " + string(info),
 				})
 			}
 		}
@@ -42,7 +40,7 @@ func (c *Checker) detectIncorrect(app *App, r *Report) {
 				r.Incorrect = append(r.Incorrect, IncorrectFinding{
 					Via: ViaCode, Info: info, Category: cat,
 					Sentence: sentence,
-					Evidence: fmt.Sprintf("the code collects %s (%s)", info, firstSource(r, info)),
+					Evidence: "the code collects " + string(info) + " (" + firstSource(r, info) + ")",
 				})
 				break
 			}
@@ -54,7 +52,7 @@ func (c *Checker) detectIncorrect(app *App, r *Report) {
 			r.Incorrect = append(r.Incorrect, IncorrectFinding{
 				Via: ViaCode, Info: info, Category: verbs.Retain,
 				Sentence: sentence,
-				Evidence: fmt.Sprintf("the code retains %s (%s)", info, firstLeak(r, info)),
+				Evidence: "the code retains " + string(info) + " (" + firstLeak(r, info) + ")",
 			})
 		}
 	}
@@ -91,7 +89,7 @@ func firstSource(r *Report, info sensitive.Info) string {
 func firstLeak(r *Report, info sensitive.Info) string {
 	for _, l := range r.Static.Leaks {
 		if l.Info == info {
-			return fmt.Sprintf("path from %s to %s", l.Source, l.Sink)
+			return "path from " + l.Source + " to " + l.Sink.String()
 		}
 	}
 	return "unknown path"

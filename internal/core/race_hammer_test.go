@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ppchecker/internal/core"
+)
+
+// TestCheckSafeConcurrentArenaReuse hammers one shared Checker from
+// many goroutines on the same app. Every CheckSafe call grabs a pooled
+// per-app arena (graph, taint scratch, collection-scan register maps,
+// parse buffers), so goroutines constantly exchange recycled state
+// through the pool; any reset that leaks data across apps or any write
+// to shared frozen structures shows up as a report mismatch here — or
+// as a data race under deflake_stress.sh's -race run.
+func TestCheckSafeConcurrentArenaReuse(t *testing.T) {
+	app := testApp(t)
+	checker := core.NewChecker()
+	ctx := context.Background()
+	want, err := checker.CheckSafe(ctx, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := want.Summary()
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r, err := checker.CheckSafe(ctx, app)
+				if err != nil {
+					errs <- "CheckSafe: " + err.Error()
+					return
+				}
+				if r.Partial {
+					errs <- "clean app degraded under concurrency"
+					return
+				}
+				if got := r.Summary(); got != wantSum {
+					errs <- "summary diverged under concurrency:\n" + got + "\nvs\n" + wantSum
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}

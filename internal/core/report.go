@@ -132,6 +132,18 @@ func (r *Report) DegradedStage(s Stage) bool {
 	return false
 }
 
+// degradedRecovered reports whether the named stage failed through
+// panic recovery — its borrowed scratch state may have been abandoned
+// mid-mutation and must not be pooled again.
+func (r *Report) degradedRecovered(s Stage) bool {
+	for _, e := range r.Degraded {
+		if e.Stage == s && e.Recovered {
+			return true
+		}
+	}
+	return false
+}
+
 // HasProblem reports whether any detector fired.
 func (r *Report) HasProblem() bool {
 	return len(r.Incomplete) > 0 || len(r.Incorrect) > 0 || len(r.Inconsistent) > 0

@@ -74,24 +74,34 @@ func (c *Checker) CheckSafe(ctx context.Context, app *App) (*Report, error) {
 	// Static analysis over the APK, when present: APG build + site scan
 	// first, then taint as a separately-degradable stage.
 	if app.APK != nil {
+		// The pooled arena feeds both static stages; it is returned
+		// only on the clean path — a panicking stage may leave scratch
+		// state mid-mutation, and dropping the arena is always safe.
+		ar := arenaPool.Get().(*arena)
+		arenaOK := true
 		var p *apg.APG
 		okStatic := c.stage(ctx, r, StageStatic, func() error {
-			res, pg, err := static.Collect(ctx, app.APK, c.staticOpts)
+			res, pg, err := static.CollectWith(ctx, app.APK, c.staticOpts, &ar.build)
 			if err != nil {
 				return err
 			}
 			r.Static, p = res, pg
 			return nil
 		})
+		arenaOK = arenaOK && !r.degradedRecovered(StageStatic)
 		if okStatic {
 			c.stage(ctx, r, StageTaint, func() error {
-				leaks, err := static.TaintLeaks(ctx, p)
+				leaks, err := static.TaintLeaksWith(ctx, p, &ar.taint)
 				if err != nil {
 					return err
 				}
 				r.Static.Leaks = leaks
 				return nil
 			})
+			arenaOK = arenaOK && !r.degradedRecovered(StageTaint)
+		}
+		if arenaOK {
+			arenaPool.Put(ar)
 		}
 		c.stage(ctx, r, StageLibs, func() error {
 			if app.APK.Dex == nil {

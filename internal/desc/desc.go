@@ -7,7 +7,7 @@
 package desc
 
 import (
-	"sort"
+	"slices"
 
 	"ppchecker/internal/esa"
 	"ppchecker/internal/nlp"
@@ -95,9 +95,22 @@ var profileIndex = func() *esa.Index {
 func (a *Analyzer) Analyze(description string) *Result {
 	res := &Result{Evidence: map[string]string{}}
 	matched := map[string]bool{}
+	// One pooled tag buffer serves every sentence: candidate phrases
+	// are materialized as fresh strings before the tokens are reused.
+	pb := nlp.GetParseBuffer()
+	defer pb.Release()
+	var ps phraseScratch
 	for _, sent := range nlp.SplitSentences(description) {
-		toks := nlp.TagText(sent)
-		for _, phrase := range candidatePhrases(toks) {
+		// Gate: a sentence holding fewer than two profile-term
+		// occurrences cannot yield a phrase with support ≥ 2 (every
+		// supporting term, bigrams included, implies known-unigram
+		// occurrences in the sentence), so tagging and chunking are
+		// skipped. The differential test proves the gate inert.
+		if profileIndex.KnownTermCount(sent, 2) < 2 {
+			continue
+		}
+		toks := pb.Tag(sent)
+		for _, phrase := range candidatePhrasesInto(&ps, toks) {
 			perm, sim, support := profileIndex.ClassifyWithSupportScoped(phrase, a.scope)
 			// Two supporting terms are required: a lone generic word
 			// that happens to occur in only one profile would otherwise
@@ -121,10 +134,13 @@ func (a *Analyzer) Analyze(description string) *Result {
 			infoSet[info] = true
 		}
 	}
-	for info := range infoSet {
-		res.Infos = append(res.Infos, info)
+	if len(infoSet) > 0 {
+		res.Infos = make([]sensitive.Info, 0, len(infoSet))
+		for info := range infoSet {
+			res.Infos = append(res.Infos, info)
+		}
+		slices.Sort(res.Infos)
 	}
-	sort.Slice(res.Infos, func(i, j int) bool { return res.Infos[i] < res.Infos[j] })
 	return res
 }
 
@@ -152,14 +168,31 @@ func (a *Analyzer) Unjustified(requested []string, description string) []string 
 	return out
 }
 
+// phraseScratch holds candidatePhrasesInto's working slices, reused
+// across sentences. The phrase strings themselves are always fresh;
+// only the containers recycle.
+type phraseScratch struct {
+	chunks []nlp.Chunk
+	out    []string
+	buf    []byte
+}
+
 // candidatePhrases extracts the phrases to project: noun phrases plus
-// verb+object bigrams ("scan barcodes", "record audio"). Phrases are
-// assembled in one reused scratch buffer, so each costs a single
-// allocation regardless of word count.
+// verb+object bigrams ("scan barcodes", "record audio").
 func candidatePhrases(toks []nlp.Token) []string {
-	chunks := nlp.ChunkNPs(toks)
-	out := make([]string, 0, len(chunks))
-	var buf []byte
+	var ps phraseScratch
+	return candidatePhrasesInto(&ps, toks)
+}
+
+// candidatePhrasesInto is candidatePhrases building into ps. The
+// returned slice aliases ps and is valid until the next call; phrases
+// are assembled in one reused scratch buffer, so each costs a single
+// allocation regardless of word count.
+func candidatePhrasesInto(ps *phraseScratch, toks []nlp.Token) []string {
+	chunks := nlp.ChunkNPsInto(ps.chunks[:0], toks)
+	ps.chunks = chunks[:0]
+	out := ps.out[:0]
+	buf := ps.buf
 	phrase := func(prefix string, c nlp.Chunk) (string, bool) {
 		buf = buf[:0]
 		if prefix != "" {
@@ -197,5 +230,6 @@ func candidatePhrases(toks []nlp.Token) []string {
 			}
 		}
 	}
+	ps.out, ps.buf = out, buf
 	return out
 }

@@ -296,6 +296,66 @@ func Terms(text string) []string {
 	return out
 }
 
+// KnownTermCount counts the word occurrences in text whose stemmed
+// form is a term of the index, stopping early once max is reached.
+// Words are tokenized exactly as the unigram pass of Terms (the
+// differential test enforces agreement). Callers use it as a cheap
+// gate: a text with fewer than two known-term occurrences cannot
+// yield any classification with support ≥ 2, because every supporting
+// term — bigrams included — implies distinct known-unigram
+// occurrences in the text.
+func (x *Index) KnownTermCount(text string, max int) int {
+	count := 0
+	var buf []byte
+	start, hasUpper := -1, false
+	flush := func(end int) bool {
+		if start < 0 {
+			return false
+		}
+		w := text[start:end]
+		if hasUpper {
+			buf = buf[:0]
+			for k := start; k < end; k++ {
+				c := text[k]
+				if c >= 'A' && c <= 'Z' {
+					c += 32
+				}
+				buf = append(buf, c)
+			}
+			w = string(buf)
+		}
+		start, hasUpper = -1, false
+		t := stem(w)
+		if !stopTerms[t] && len(t) > 1 || t == "ip" || t == "id" || t == "os" {
+			if _, known := x.postings[t]; known {
+				count++
+				return count >= max
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			if start < 0 {
+				start = i
+			}
+		case c >= 'A' && c <= 'Z':
+			if start < 0 {
+				start = i
+			}
+			hasUpper = true
+		default:
+			if flush(i) {
+				return count
+			}
+		}
+	}
+	flush(len(text))
+	return count
+}
+
 func unigrams(text string) []string {
 	out := make([]string, 0, len(text)/6+1)
 	// Words are maximal runs of alphanumerics; each is sliced out of

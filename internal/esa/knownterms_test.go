@@ -1,0 +1,49 @@
+package esa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestKnownTermCountMatchesUnigrams: the gate's inline scan agrees
+// with counting known terms over the shared unigram tokenizer, on
+// fixed texts and on arbitrary fuzzed ones.
+func TestKnownTermCountMatchesUnigrams(t *testing.T) {
+	x := Default()
+	ref := func(text string) int {
+		n := 0
+		for _, u := range unigrams(text) {
+			if _, ok := x.postings[u]; ok {
+				n++
+			}
+		}
+		return n
+	}
+	fixed := []string{
+		"", "the the the", "We collect your precise LOCATION and contacts.",
+		"GPS gps Gps", "e-mail and третий ip id os", "location",
+		"addresses address Address-Book", "a b c d",
+	}
+	for _, text := range fixed {
+		if got, want := x.KnownTermCount(text, 1<<30), ref(text); got != want {
+			t.Errorf("KnownTermCount(%q) = %d, want %d", text, got, want)
+		}
+	}
+	f := func(text string) bool {
+		return x.KnownTermCount(text, 1<<30) == ref(text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownTermCountEarlyExit(t *testing.T) {
+	x := Default()
+	text := "location location location location"
+	if got := x.KnownTermCount(text, 2); got != 2 {
+		t.Fatalf("max=2 returned %d", got)
+	}
+	if got := x.KnownTermCount(text, 1); got != 1 {
+		t.Fatalf("max=1 returned %d", got)
+	}
+}

@@ -4,6 +4,13 @@
 // provides the same contract: labelled nodes with string properties,
 // labelled edges, property indexes, traversals, reachability, and path
 // search.
+//
+// The package has two layers. *Graph is the mutable build-time
+// representation: slice-backed adjacency keyed by dense sequential
+// NodeIDs, cheap to append to. Freeze compiles a Graph into a *Frozen
+// compressed-sparse-row view (see freeze.go) that answers the same
+// traversal queries with contiguous arrays and interned labels; the
+// analysis passes build mutably and query frozen.
 package graphdb
 
 import (
@@ -11,18 +18,48 @@ import (
 	"sort"
 )
 
-// NodeID identifies a node.
+// NodeID identifies a node. IDs are dense and sequential starting at 1,
+// in insertion order.
 type NodeID int64
+
+// Props stores node properties as flattened key/value pairs:
+// [k0, v0, k1, v1, ...]. Nodes have few properties (≤5 in every APG
+// node shape), so linear scan beats a map and the whole set is one
+// allocation.
+type Props []string
+
+// Get returns the value for key ("" when absent).
+func (p Props) Get(key string) string {
+	for i := 0; i+1 < len(p); i += 2 {
+		if p[i] == key {
+			return p[i+1]
+		}
+	}
+	return ""
+}
+
+// Has reports whether key is present.
+func (p Props) Has(key string) bool {
+	for i := 0; i+1 < len(p); i += 2 {
+		if p[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of key/value pairs.
+func (p Props) Len() int { return len(p) / 2 }
 
 // Node is a labelled node with properties.
 type Node struct {
 	ID    NodeID
 	Label string
-	Props map[string]string
+	Props Props
 }
 
 // Prop returns a property value ("" when absent).
-func (n *Node) Prop(key string) string { return n.Props[key] }
+func (n *Node) Prop(key string) string { return n.Props.Get(key) }
 
 // Edge is a directed labelled edge.
 type Edge struct {
@@ -30,118 +67,243 @@ type Edge struct {
 	Label    string
 }
 
-// Graph is the database. It is not safe for concurrent mutation;
-// concurrent reads are safe after construction.
+// Graph is the mutable database. It is not safe for concurrent
+// mutation; concurrent reads are safe after construction.
 type Graph struct {
-	nodes   map[NodeID]*Node
-	out     map[NodeID][]Edge
-	in      map[NodeID][]Edge
+	// nodes[i] is the node with ID i+1, stored by value; IDs are dense
+	// so a slice replaces the former map[NodeID]*Node, every iteration
+	// is ID-ordered by construction, and there is no per-node heap
+	// object — Node pointers handed out point into this backing array.
+	nodes   []Node
+	out     [][]Edge
+	in      [][]Edge
 	byLabel map[string][]NodeID
-	// indexes[key][value] lists nodes with Props[key]==value, for keys
-	// registered via CreateIndex.
-	indexes map[string]map[string][]NodeID
-	nextID  NodeID
+	// indexes[key][value] lists nodes with Props.Get(key)==value, for
+	// keys registered via CreateIndex. Slices are ID-sorted because
+	// nodes are indexed in insertion order.
+	indexes   map[string]map[string][]NodeID
+	edgeCount int
+
+	// propCur/propFull/propSpare form a chunked arena holding node
+	// property storage: addNode copies incoming key/value pairs into the
+	// current block and each Node.Props aliases its span. Blocks are
+	// fixed-capacity and never reallocate, so earlier views stay valid;
+	// Reset clears and recycles them.
+	propCur   []string
+	propFull  [][]string
+	propSpare [][]string
+
+	// last is the most recent Frozen view; Reset reclaims its arrays
+	// into spare so the next Freeze builds without reallocating.
+	last, spare *Frozen
 }
+
+// propBlockSize is the string capacity of one property-arena block.
+const propBlockSize = 512
 
 // New creates an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes:   map[NodeID]*Node{},
-		out:     map[NodeID][]Edge{},
-		in:      map[NodeID][]Edge{},
 		byLabel: map[string][]NodeID{},
 		indexes: map[string]map[string][]NodeID{},
 	}
 }
 
+// node returns the node for id, or nil when out of range.
+func (g *Graph) node(id NodeID) *Node {
+	if id < 1 || int64(id) > int64(len(g.nodes)) {
+		return nil
+	}
+	return &g.nodes[id-1]
+}
+
+// Reset clears the graph for rebuilding while keeping every allocated
+// buffer: node storage, per-node adjacency runs, label lists, index
+// buckets, and the arrays of the last Frozen view (which the next
+// Freeze reuses). Registered indexes stay registered. Reset invalidates
+// everything previously obtained from this graph — *Node pointers,
+// Frozen views, and slices they returned — so it is only for
+// arena-style reuse where the previous analysis is completely finished,
+// e.g. one worker re-analysing app after app.
+func (g *Graph) Reset() {
+	clear(g.nodes) // release retained label/property strings
+	g.nodes = g.nodes[:0]
+	// Truncating the outer slices keeps the per-node edge runs in the
+	// backing array; growAdj reclaims their capacity one node at a time.
+	g.out = g.out[:0]
+	g.in = g.in[:0]
+	for label, ids := range g.byLabel {
+		g.byLabel[label] = ids[:0]
+	}
+	for _, byVal := range g.indexes {
+		for v, ids := range byVal {
+			byVal[v] = ids[:0]
+		}
+	}
+	g.edgeCount = 0
+	for _, b := range g.propFull {
+		clear(b) // release retained property strings
+		g.propSpare = append(g.propSpare, b[:0])
+	}
+	g.propFull = g.propFull[:0]
+	clear(g.propCur)
+	g.propCur = g.propCur[:0]
+	if g.last != nil {
+		g.spare, g.last = g.last, nil
+	}
+}
+
 // AddNode inserts a node and returns its id. props may be nil.
 func (g *Graph) AddNode(label string, props map[string]string) NodeID {
-	g.nextID++
-	id := g.nextID
-	if props == nil {
-		props = map[string]string{}
+	kv := make(Props, 0, len(props)*2)
+	if len(props) > 0 {
+		keys := make([]string, 0, len(props))
+		for k := range props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kv = append(kv, k, props[k])
+		}
 	}
-	n := &Node{ID: id, Label: label, Props: props}
-	g.nodes[id] = n
+	return g.addNode(label, kv)
+}
+
+// AddNodeKV inserts a node whose properties are given as alternating
+// key/value pairs, avoiding the map allocation of AddNode. The pairs
+// are copied into graph-owned storage, so callers may reuse the backing
+// slice immediately.
+func (g *Graph) AddNodeKV(label string, kv ...string) NodeID {
+	if len(kv)%2 != 0 {
+		panic("graphdb: AddNodeKV requires an even number of key/value strings")
+	}
+	return g.addNode(label, kv)
+}
+
+// internProps copies kv into the property arena and returns the aliased
+// span. Blocks never reallocate, so previously returned spans survive
+// later inserts; oversized records get their own allocation.
+func (g *Graph) internProps(kv []string) Props {
+	if len(kv) == 0 {
+		return nil
+	}
+	if len(kv) > propBlockSize {
+		out := make(Props, len(kv))
+		copy(out, kv)
+		return out
+	}
+	if len(g.propCur)+len(kv) > cap(g.propCur) {
+		if g.propCur != nil {
+			g.propFull = append(g.propFull, g.propCur)
+		}
+		if n := len(g.propSpare); n > 0 {
+			g.propCur, g.propSpare = g.propSpare[n-1], g.propSpare[:n-1]
+		} else {
+			g.propCur = make([]string, 0, propBlockSize)
+		}
+	}
+	off := len(g.propCur)
+	g.propCur = append(g.propCur, kv...)
+	return Props(g.propCur[off:len(g.propCur):len(g.propCur)])
+}
+
+func (g *Graph) addNode(label string, kv []string) NodeID {
+	id := NodeID(len(g.nodes) + 1)
+	g.nodes = append(g.nodes, Node{ID: id, Label: label, Props: g.internProps(kv)})
+	g.out = growAdj(g.out)
+	g.in = growAdj(g.in)
 	g.byLabel[label] = append(g.byLabel[label], id)
 	for key, byVal := range g.indexes {
-		if v, ok := props[key]; ok {
-			byVal[v] = append(byVal[v], id)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if kv[i] == key {
+				byVal[kv[i+1]] = append(byVal[kv[i+1]], id)
+				break
+			}
 		}
 	}
 	return id
 }
 
+// growAdj extends an adjacency column by one empty edge run, reusing
+// the run capacity a Reset left behind in the backing array when
+// possible.
+func growAdj(adj [][]Edge) [][]Edge {
+	if len(adj) < cap(adj) {
+		adj = adj[:len(adj)+1]
+		adj[len(adj)-1] = adj[len(adj)-1][:0]
+		return adj
+	}
+	return append(adj, nil)
+}
+
 // AddEdge inserts a directed edge. Both endpoints must exist.
 func (g *Graph) AddEdge(from, to NodeID, label string) error {
-	if g.nodes[from] == nil {
+	if g.node(from) == nil {
 		return fmt.Errorf("graphdb: edge from unknown node %d", from)
 	}
-	if g.nodes[to] == nil {
+	if g.node(to) == nil {
 		return fmt.Errorf("graphdb: edge to unknown node %d", to)
 	}
 	e := Edge{From: from, To: to, Label: label}
-	g.out[from] = append(g.out[from], e)
-	g.in[to] = append(g.in[to], e)
+	g.out[from-1] = append(g.out[from-1], e)
+	g.in[to-1] = append(g.in[to-1], e)
+	g.edgeCount++
 	return nil
 }
 
 // Node returns a node by id (nil when absent).
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+func (g *Graph) Node(id NodeID) *Node { return g.node(id) }
 
 // NodeCount returns the number of nodes.
 func (g *Graph) NodeCount() int { return len(g.nodes) }
 
 // EdgeCount returns the number of edges.
-func (g *Graph) EdgeCount() int {
-	n := 0
-	for _, es := range g.out {
-		n += len(es)
+func (g *Graph) EdgeCount() int { return g.edgeCount }
+
+// Nodes returns all nodes in ascending ID order. The slice is fresh;
+// the pointers share the graph's node storage.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.nodes))
+	for i := range g.nodes {
+		out[i] = &g.nodes[i]
 	}
-	return n
+	return out
 }
 
 // NodesByLabel returns node ids with the given label, in insertion
-// order.
+// (= ascending ID) order.
 func (g *Graph) NodesByLabel(label string) []NodeID {
 	return append([]NodeID(nil), g.byLabel[label]...)
 }
 
 // CreateIndex registers a property key for indexed lookup; existing
-// nodes are back-filled.
+// nodes are back-filled in ID order, so indexed lookups return
+// ID-sorted slices.
 func (g *Graph) CreateIndex(key string) {
 	if _, ok := g.indexes[key]; ok {
 		return
 	}
 	byVal := map[string][]NodeID{}
-	var ids []NodeID
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if v, ok := g.nodes[id].Props[key]; ok {
-			byVal[v] = append(byVal[v], id)
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.Props.Has(key) {
+			v := n.Props.Get(key)
+			byVal[v] = append(byVal[v], n.ID)
 		}
 	}
 	g.indexes[key] = byVal
 }
 
 // FindByProp returns nodes whose property key equals value, using the
-// index when available and a label-agnostic scan otherwise.
+// index when available and a label-agnostic ID-ordered scan otherwise.
 func (g *Graph) FindByProp(key, value string) []NodeID {
 	if byVal, ok := g.indexes[key]; ok {
 		return append([]NodeID(nil), byVal[value]...)
 	}
 	var out []NodeID
-	var ids []NodeID
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if g.nodes[id].Props[key] == value {
-			out = append(out, id)
+	for i := range g.nodes {
+		if g.nodes[i].Props.Get(key) == value {
+			out = append(out, g.nodes[i].ID)
 		}
 	}
 	return out
@@ -149,8 +311,11 @@ func (g *Graph) FindByProp(key, value string) []NodeID {
 
 // Out returns the targets of edges leaving id; label == "" matches all.
 func (g *Graph) Out(id NodeID, label string) []NodeID {
+	if g.node(id) == nil {
+		return nil
+	}
 	var out []NodeID
-	for _, e := range g.out[id] {
+	for _, e := range g.out[id-1] {
 		if label == "" || e.Label == label {
 			out = append(out, e.To)
 		}
@@ -160,8 +325,11 @@ func (g *Graph) Out(id NodeID, label string) []NodeID {
 
 // In returns the sources of edges entering id; label == "" matches all.
 func (g *Graph) In(id NodeID, label string) []NodeID {
+	if g.node(id) == nil {
+		return nil
+	}
 	var out []NodeID
-	for _, e := range g.in[id] {
+	for _, e := range g.in[id-1] {
 		if label == "" || e.Label == label {
 			out = append(out, e.From)
 		}
@@ -170,7 +338,12 @@ func (g *Graph) In(id NodeID, label string) []NodeID {
 }
 
 // OutEdges returns copies of the outgoing edges of id.
-func (g *Graph) OutEdges(id NodeID) []Edge { return append([]Edge(nil), g.out[id]...) }
+func (g *Graph) OutEdges(id NodeID) []Edge {
+	if g.node(id) == nil {
+		return nil
+	}
+	return append([]Edge(nil), g.out[id-1]...)
+}
 
 // Reachable computes the forward closure from the seed set following
 // edges whose label is in labels (nil = all labels).
@@ -179,7 +352,7 @@ func (g *Graph) Reachable(seeds []NodeID, labels []string) map[NodeID]bool {
 	seen := map[NodeID]bool{}
 	queue := make([]NodeID, 0, len(seeds))
 	for _, s := range seeds {
-		if g.nodes[s] != nil && !seen[s] {
+		if g.node(s) != nil && !seen[s] {
 			seen[s] = true
 			queue = append(queue, s)
 		}
@@ -187,7 +360,7 @@ func (g *Graph) Reachable(seeds []NodeID, labels []string) map[NodeID]bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, e := range g.out[cur] {
+		for _, e := range g.out[cur-1] {
 			if allow != nil && !allow[e.Label] {
 				continue
 			}
@@ -203,7 +376,7 @@ func (g *Graph) Reachable(seeds []NodeID, labels []string) map[NodeID]bool {
 // Path returns one shortest path from from to to following edges whose
 // label is in labels (nil = all), or nil when unreachable.
 func (g *Graph) Path(from, to NodeID, labels []string) []NodeID {
-	if g.nodes[from] == nil || g.nodes[to] == nil {
+	if g.node(from) == nil || g.node(to) == nil {
 		return nil
 	}
 	allow := labelSet(labels)
@@ -215,7 +388,7 @@ func (g *Graph) Path(from, to NodeID, labels []string) []NodeID {
 		if cur == to {
 			break
 		}
-		for _, e := range g.out[cur] {
+		for _, e := range g.out[cur-1] {
 			if allow != nil && !allow[e.Label] {
 				continue
 			}

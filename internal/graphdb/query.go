@@ -1,28 +1,81 @@
 package graphdb
 
+// view abstracts the traversal surface shared by the mutable Graph and
+// the frozen CSR representation, so one Query implementation serves
+// both; queries started from a Frozen run entirely on the CSR arrays.
+type view interface {
+	Node(NodeID) *Node
+	NodesByLabel(string) []NodeID
+	outInto(dst []NodeID, id NodeID, label string) []NodeID
+	inInto(dst []NodeID, id NodeID, label string) []NodeID
+}
+
+func (g *Graph) outInto(dst []NodeID, id NodeID, label string) []NodeID {
+	if g.node(id) == nil {
+		return dst
+	}
+	for _, e := range g.out[id-1] {
+		if label == "" || e.Label == label {
+			dst = append(dst, e.To)
+		}
+	}
+	return dst
+}
+
+func (g *Graph) inInto(dst []NodeID, id NodeID, label string) []NodeID {
+	if g.node(id) == nil {
+		return dst
+	}
+	for _, e := range g.in[id-1] {
+		if label == "" || e.Label == label {
+			dst = append(dst, e.From)
+		}
+	}
+	return dst
+}
+
+func (f *Frozen) outInto(dst []NodeID, id NodeID, label string) []NodeID {
+	return f.OutInto(dst, id, label)
+}
+
+func (f *Frozen) inInto(dst []NodeID, id NodeID, label string) []NodeID {
+	return f.InInto(dst, id, label)
+}
+
 // Query is a fluent traversal over the graph, mirroring how the paper
 // phrases its analyses ("by querying the graph database"). A query
 // holds a frontier of node ids that each step transforms.
 type Query struct {
-	g        *Graph
+	v        view
 	frontier []NodeID
 }
 
 // Query starts a traversal over all nodes with the given label.
 func (g *Graph) Query(label string) *Query {
-	return &Query{g: g, frontier: g.NodesByLabel(label)}
+	return &Query{v: g, frontier: g.NodesByLabel(label)}
 }
 
 // QueryFrom starts a traversal from explicit seeds.
 func (g *Graph) QueryFrom(ids ...NodeID) *Query {
-	return &Query{g: g, frontier: append([]NodeID(nil), ids...)}
+	return &Query{v: g, frontier: append([]NodeID(nil), ids...)}
+}
+
+// Query starts a traversal over the frozen view's nodes with the given
+// label.
+func (f *Frozen) Query(label string) *Query {
+	return &Query{v: f, frontier: f.NodesByLabel(label)}
+}
+
+// QueryFrom starts a frozen-view traversal from explicit seeds.
+func (f *Frozen) QueryFrom(ids ...NodeID) *Query {
+	return &Query{v: f, frontier: append([]NodeID(nil), ids...)}
 }
 
 // Where keeps nodes whose property key equals value.
 func (q *Query) Where(key, value string) *Query {
-	var keep []NodeID
+	keep := q.frontier[:0]
 	for _, id := range q.frontier {
-		if n := q.g.Node(id); n != nil && n.Props[key] == value {
+		if n := q.v.Node(id); n != nil && n.Props.Get(key) == value {
 			keep = append(keep, id)
 		}
 	}
@@ -32,9 +85,9 @@ func (q *Query) Where(key, value string) *Query {
 
 // WhereFunc keeps nodes satisfying the predicate.
 func (q *Query) WhereFunc(pred func(*Node) bool) *Query {
-	var keep []NodeID
+	keep := q.frontier[:0]
 	for _, id := range q.frontier {
-		if n := q.g.Node(id); n != nil && pred(n) {
+		if n := q.v.Node(id); n != nil && pred(n) {
 			keep = append(keep, id)
 		}
 	}
@@ -59,9 +112,9 @@ func (q *Query) expand(label string, forward bool) []NodeID {
 	var next []NodeID
 	for _, id := range q.frontier {
 		if forward {
-			next = append(next, q.g.Out(id, label)...)
+			next = q.v.outInto(next, id, label)
 		} else {
-			next = append(next, q.g.In(id, label)...)
+			next = q.v.inInto(next, id, label)
 		}
 	}
 	return next
@@ -74,7 +127,7 @@ func (q *Query) Collect() []NodeID { return append([]NodeID(nil), q.frontier...)
 func (q *Query) Nodes() []*Node {
 	out := make([]*Node, 0, len(q.frontier))
 	for _, id := range q.frontier {
-		if n := q.g.Node(id); n != nil {
+		if n := q.v.Node(id); n != nil {
 			out = append(out, n)
 		}
 	}

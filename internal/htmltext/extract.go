@@ -9,6 +9,7 @@ package htmltext
 
 import (
 	"strings"
+	"sync"
 	"unicode/utf8"
 )
 
@@ -35,12 +36,61 @@ var entities = map[string]string{
 	"reg": "", "trade": "", "bull": " ", "middot": " ", "sect": " ",
 }
 
+// scrubber applies Scrub's per-byte state machine while the extraction
+// loop writes, so one pooled buffer replaces the former two full-size
+// builder passes (extract, then scrub).
+type scrubber struct {
+	buf       []byte
+	lastSpace bool
+	lastNL    bool
+}
+
+var scrubberPool = sync.Pool{New: func() any { return new(scrubber) }}
+
+func (w *scrubber) writeByte(c byte) {
+	switch {
+	case c == '\n':
+		if !w.lastNL {
+			w.buf = append(w.buf, '\n')
+			w.lastNL, w.lastSpace = true, true
+		}
+	case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+		if !w.lastSpace {
+			w.buf = append(w.buf, ' ')
+			w.lastSpace = true
+		}
+	case c >= 32 && c < 127 && meaningful(c):
+		w.buf = append(w.buf, c)
+		w.lastSpace, w.lastNL = false, false
+	default:
+		// non-ASCII or meaningless: treated as a soft space
+		if !w.lastSpace {
+			w.buf = append(w.buf, ' ')
+			w.lastSpace = true
+		}
+	}
+}
+
+func (w *scrubber) writeString(s string) {
+	for i := 0; i < len(s); i++ {
+		w.writeByte(s[i])
+	}
+}
+
 // Extract returns the readable text of an HTML document. It also accepts
 // plain text (documents with no markup pass through unchanged apart from
-// whitespace normalisation and the ASCII scrub).
+// whitespace normalisation and the ASCII scrub). The result equals
+// Scrub applied to the raw extracted text.
 func Extract(html string) string {
-	var b strings.Builder
-	b.Grow(len(html))
+	w := scrubberPool.Get().(*scrubber)
+	defer scrubberPool.Put(w)
+	if cap(w.buf) < len(html) {
+		w.buf = make([]byte, 0, len(html))
+	} else {
+		w.buf = w.buf[:0]
+	}
+	// Initial state suppresses leading whitespace, like Scrub's.
+	w.lastSpace, w.lastNL = true, true
 	i := 0
 	n := len(html)
 	var skipUntil string // inside a skip tag: its name, until matching close
@@ -51,7 +101,7 @@ func Extract(html string) string {
 			name, attrs, closing, selfClose, next := parseTag(html, i)
 			if next == i { // malformed "<": treat literally
 				if skipUntil == "" {
-					b.WriteByte(c)
+					w.writeByte(c)
 				}
 				i++
 				continue
@@ -70,24 +120,30 @@ func Extract(html string) string {
 				continue
 			}
 			if blockTags[lower] {
-				b.WriteByte('\n')
+				w.writeByte('\n')
 			} else {
-				b.WriteByte(' ')
+				w.writeByte(' ')
 			}
 		case c == '&':
 			s, next := parseEntity(html, i)
 			if skipUntil == "" {
-				b.WriteString(s)
+				w.writeString(s)
 			}
 			i = next
 		default:
 			if skipUntil == "" {
-				b.WriteByte(c)
+				w.writeByte(c)
 			}
 			i++
 		}
 	}
-	return Scrub(b.String())
+	// The machine never emits leading whitespace; trim the at most one
+	// trailing " \n" run (= strings.TrimSpace of the scrubbed text).
+	end := len(w.buf)
+	for end > 0 && (w.buf[end-1] == ' ' || w.buf[end-1] == '\n') {
+		end--
+	}
+	return string(w.buf[:end])
 }
 
 // parseTag parses a tag starting at html[i]=='<'. It returns the tag

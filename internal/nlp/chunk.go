@@ -13,7 +13,13 @@ type Chunk struct {
 // also an NP. Participles are only premodifiers when a noun follows, so
 // main verbs are never swallowed.
 func ChunkNPs(toks []Token) []Chunk {
-	chunks := make([]Chunk, 0, len(toks)/3+1)
+	return ChunkNPsInto(make([]Chunk, 0, len(toks)/3+1), toks)
+}
+
+// ChunkNPsInto is ChunkNPs appending into a caller-provided slice, for
+// callers that reuse one chunk buffer across sentences (ParseBuffer,
+// the description analyzer's phrase scan).
+func ChunkNPsInto(chunks []Chunk, toks []Token) []Chunk {
 	n := len(toks)
 	i := 0
 	for i < n {

@@ -76,19 +76,35 @@ func ParseSentence(text string) *Parse {
 
 // ParseTokens parses an already tagged token slice.
 func ParseTokens(toks []Token) *Parse {
-	p := &Parse{
-		Tokens: toks,
-		Root:   -1,
-		// Each token attaches at most once (emit's first-wins rule) plus
-		// the root edge, so len(toks) bounds the edge count.
-		Deps:  make([]Dep, 0, len(toks)),
-		heads: make([]int, len(toks)),
-		rels:  make([]Rel, len(toks)),
+	return parseTokensInto(new(Parse), toks)
+}
+
+// parseTokensInto parses toks into p, reusing whatever storage p
+// already holds (a zero Parse works too) — the ParseBuffer reuse path.
+// Each token attaches at most once (emit's first-wins rule) plus the
+// root edge, so len(toks) bounds the edge count.
+func parseTokensInto(p *Parse, toks []Token) *Parse {
+	n := len(toks)
+	p.Tokens = toks
+	p.Root = -1
+	if cap(p.Deps) < n {
+		p.Deps = make([]Dep, 0, n)
+	} else {
+		p.Deps = p.Deps[:0]
 	}
-	for i := range p.heads {
+	if cap(p.heads) < n {
+		p.heads = make([]int, n)
+		p.rels = make([]Rel, n)
+	} else {
+		p.heads = p.heads[:n]
+		p.rels = p.rels[:n]
+	}
+	for i := 0; i < n; i++ {
 		p.heads[i] = -2 // unattached
+		p.rels[i] = ""  // no stale relation may survive buffer reuse
 	}
-	p.Chunks = ChunkNPs(toks)
+	p.Constraints = p.Constraints[:0]
+	p.Chunks = ChunkNPsInto(p.Chunks[:0], toks)
 	p.findConstraints()
 	p.attachChunkInternals()
 	p.parseClause(p.mainRegion(), true)

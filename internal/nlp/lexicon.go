@@ -1,6 +1,9 @@
 package nlp
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // The lexicon assigns the most likely tag to known words of the privacy
 // policy register. Unknown words fall back to suffix heuristics in the
@@ -321,4 +324,50 @@ func Lemma(word string) string {
 func KnownVerbForm(word string) bool {
 	_, ok := verbLemma[strings.ToLower(word)]
 	return ok
+}
+
+// fallbackSuffixes are the suffixes Lemma strips when a form is not in
+// the verb table, in the order it tries them.
+var fallbackSuffixes = [...]string{"ing", "ied", "ies", "ed", "es", "s"}
+
+// SurfaceForms returns every word Lemma can map to lemma: the lemma
+// itself, each known inflection, and the suffix-appended shapes the
+// fallback stripper would reduce back. The result is a superset of
+// {w : Lemma(w) == lemma} — sound for compiling prefilter automatons,
+// which may then admit extra sentences but never skip one holding a
+// token that lemmatizes to lemma. Results are lowercase, deduplicated,
+// and deterministically ordered.
+func SurfaceForms(lemma string) []string {
+	lemma = strings.ToLower(lemma)
+	seen := map[string]bool{lemma: true}
+	out := []string{lemma}
+	add := func(w string) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	var forms []string
+	for form, l := range verbLemma {
+		if l == lemma {
+			forms = append(forms, form)
+		}
+	}
+	sort.Strings(forms)
+	for _, f := range forms {
+		add(f)
+	}
+	// The fallback accepts w = stem+suffix when verbLemma[stem] or
+	// verbLemma[stem+"e"] is the lemma, so every known form spawns its
+	// suffix-appended shapes (and, for forms ending in "e", the shapes
+	// of the form minus that "e").
+	for _, f := range forms {
+		for _, suf := range fallbackSuffixes {
+			add(f + suf)
+			if strings.HasSuffix(f, "e") {
+				add(f[:len(f)-1] + suf)
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,77 @@
+package nlp
+
+import "testing"
+
+// TestSurfaceFormsSound: over a large candidate universe — every known
+// verb form, every suffix-appended shape of every form, and the whole
+// tag lexicon — any word that lemmatizes to L must appear in
+// SurfaceForms(L). This is the property the prefilter automatons rely
+// on: matching surface forms can only over-approximate, never miss.
+func TestSurfaceFormsSound(t *testing.T) {
+	universe := map[string]bool{}
+	for form := range verbLemma {
+		universe[form] = true
+		for _, suf := range fallbackSuffixes {
+			universe[form+suf] = true
+		}
+	}
+	for w := range lexicon {
+		universe[w] = true
+	}
+	cache := map[string]map[string]bool{}
+	forms := func(lemma string) map[string]bool {
+		if m, ok := cache[lemma]; ok {
+			return m
+		}
+		m := map[string]bool{}
+		for _, f := range SurfaceForms(lemma) {
+			m[f] = true
+		}
+		cache[lemma] = m
+		return m
+	}
+	for w := range universe {
+		if l := Lemma(w); !forms(l)[w] {
+			t.Errorf("SurfaceForms(%q) misses %q", l, w)
+		}
+	}
+}
+
+func TestSurfaceFormsBasics(t *testing.T) {
+	got := map[string]bool{}
+	for _, f := range SurfaceForms("collect") {
+		got[f] = true
+	}
+	for _, want := range []string{"collect", "collects", "collected", "collecting"} {
+		if !got[want] {
+			t.Errorf("SurfaceForms(collect) misses %q", want)
+		}
+	}
+	// Irregulars: every table form of the lemma is present.
+	got = map[string]bool{}
+	for _, f := range SurfaceForms("keep") {
+		got[f] = true
+	}
+	if !got["kept"] || !got["keeps"] || !got["keeping"] {
+		t.Errorf("SurfaceForms(keep) = %v", got)
+	}
+	// Unknown lemmas at least contain themselves.
+	if fs := SurfaceForms("banana"); len(fs) != 1 || fs[0] != "banana" {
+		t.Errorf("SurfaceForms(banana) = %v", fs)
+	}
+	// Deterministic and deduplicated.
+	a, b := SurfaceForms("use"), SurfaceForms("use")
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %q vs %q", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate %q", a[i])
+		}
+		seen[a[i]] = true
+	}
+}

@@ -1,0 +1,45 @@
+package nlp
+
+import "sync"
+
+// ParseBuffer recycles the per-sentence NLP working set — the token
+// slice plus the parse tree's dependency arrays, chunk list, and
+// constraint list — across sentences, so a caller walking a whole
+// document parses in steady state without allocating. Obtain one with
+// GetParseBuffer and return it with Release.
+//
+// Aliasing contract: the token slice and *Parse returned by Tag and
+// Parse point into the buffer's storage and are valid only until the
+// next method call on the same buffer or Release. Strings inside
+// tokens (Text, Lower) are ordinary immutable strings and may be
+// retained freely; everything else must be copied out if it needs to
+// outlive the sentence.
+type ParseBuffer struct {
+	toks  []Token
+	parse Parse
+}
+
+var parseBufferPool = sync.Pool{New: func() any { return new(ParseBuffer) }}
+
+// GetParseBuffer borrows a buffer from the internal pool.
+func GetParseBuffer() *ParseBuffer { return parseBufferPool.Get().(*ParseBuffer) }
+
+// Release returns the buffer to the pool. The caller must not touch
+// any token slice or Parse obtained from this buffer afterwards.
+func (b *ParseBuffer) Release() { parseBufferPool.Put(b) }
+
+// Tag tokenizes and tags sent into the buffer's token storage. The
+// result equals TagText(sent); see the aliasing contract above.
+func (b *ParseBuffer) Tag(sent string) []Token {
+	if b.toks == nil {
+		b.toks = make([]Token, 0, len(sent)/4+2)
+	}
+	b.toks = tokenizeInto(b.toks[:0], sent)
+	return TagTokens(b.toks)
+}
+
+// Parse tags and parses sent into the buffer's storage. The result
+// equals ParseSentence(sent); see the aliasing contract above.
+func (b *ParseBuffer) Parse(sent string) *Parse {
+	return parseTokensInto(&b.parse, b.Tag(sent))
+}

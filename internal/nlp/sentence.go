@@ -90,8 +90,10 @@ func SplitSentences(text string) []string {
 // points do not.
 func rawSplit(text string) []string {
 	// Sentences are contiguous spans of text (only the '\n' terminator
-	// is dropped), so each one is sliced out rather than rebuilt.
-	var sents []string
+	// is dropped), so each one is sliced out rather than rebuilt. Policy
+	// sentences average well over 64 bytes, so the estimate keeps the
+	// append from reallocating on ordinary documents.
+	sents := make([]string, 0, len(text)/64+4)
 	start := 0
 	flush := func(end int) {
 		if end > start {
@@ -194,7 +196,9 @@ func independentStart(frag string) bool {
 	if lower == "please" || strings.HasPrefix(lower, "please ") {
 		return true
 	}
-	p := ParseSentence(lower)
+	pb := GetParseBuffer()
+	defer pb.Release()
+	p := pb.Parse(lower)
 	if p == nil || p.Root < 0 {
 		return false
 	}

@@ -95,7 +95,12 @@ var asciiTokens = func() (t [128]string) {
 func Tokenize(text string) []Token {
 	// Typical English averages >4 bytes per token; the estimate keeps
 	// the append below from reallocating on ordinary sentences.
-	toks := make([]Token, 0, len(text)/4+2)
+	return tokenizeInto(make([]Token, 0, len(text)/4+2), text)
+}
+
+// tokenizeInto is Tokenize appending into a caller-provided slice
+// (ParseBuffer reuses one across sentences).
+func tokenizeInto(toks []Token, text string) []Token {
 	add := func(s string) {
 		if s == "" {
 			return

@@ -1,6 +1,9 @@
 package patterns
 
 import (
+	"sync"
+
+	"ppchecker/internal/actrie"
 	"ppchecker/internal/nlp"
 	"ppchecker/internal/verbs"
 )
@@ -9,10 +12,31 @@ import (
 // Step 4). It is immutable after construction and safe for concurrent
 // use.
 type Matcher struct {
-	keys map[string]Pattern
+	// Patterns are looked up by shape without building a string key:
+	// one/two hold the overwhelmingly common path lengths, rest falls
+	// back to the canonical Key() form.
+	one  map[key1]Pattern
+	two  map[key2]Pattern
+	rest map[string]Pattern
+	n    int
 	// categorize maps a verb to its category; defaults to
 	// verbs.CategoryOf.
 	categorize func(string) verbs.Category
+	// prefilter is a token-boundary Aho-Corasick automaton over the
+	// surface forms of every pattern's first path element. A sentence
+	// with no hit cannot realize any pattern, so parsing is skipped.
+	// nil disables the prefilter (empty pattern set or an empty path).
+	prefilter *actrie.Automaton
+}
+
+type key1 struct {
+	passive bool
+	a       string
+}
+
+type key2 struct {
+	passive bool
+	a, b    string
 }
 
 // NewMatcher builds a matcher over the given patterns.
@@ -24,20 +48,93 @@ func NewMatcher(pats []Pattern) *Matcher {
 // categorizer (the synonym-expansion extension injects
 // verbs.ExtendedCategoryOf here).
 func NewMatcherWithCategories(pats []Pattern, categorize func(string) verbs.Category) *Matcher {
-	m := &Matcher{keys: make(map[string]Pattern, len(pats)), categorize: categorize}
+	m := &Matcher{
+		one:        map[key1]Pattern{},
+		two:        map[key2]Pattern{},
+		rest:       map[string]Pattern{},
+		categorize: categorize,
+	}
+	b := actrie.NewBuilder(true)
+	filterable := true
+	seenFirst := map[string]bool{}
 	for _, p := range pats {
-		m.keys[p.Key()] = p
+		switch len(p.Path) {
+		case 0:
+			filterable = false
+			m.rest[p.Key()] = p
+		case 1:
+			m.one[key1{p.Passive, p.Path[0]}] = p
+		case 2:
+			m.two[key2{p.Passive, p.Path[0], p.Path[1]}] = p
+		default:
+			m.rest[p.Key()] = p
+		}
+		if len(p.Path) > 0 && !seenFirst[p.Path[0]] {
+			seenFirst[p.Path[0]] = true
+			for _, f := range nlp.SurfaceForms(p.Path[0]) {
+				b.Add(f, 1)
+			}
+		}
+	}
+	m.n = len(m.one) + len(m.two) + len(m.rest)
+	if filterable && b.Len() > 0 {
+		m.prefilter = b.Build()
 	}
 	return m
 }
 
-// DefaultMatcher returns a matcher over the five table-II pattern
-// families realized with the category verbs: active voice, passive
-// voice, "allowed to V", "able to V", and purpose expressions. It is
-// the matcher used when no mined pattern set is supplied.
+// lookup finds the matcher's pattern equal to p without allocating.
+func (m *Matcher) lookup(p Pattern) (Pattern, bool) {
+	switch len(p.Path) {
+	case 1:
+		pat, ok := m.one[key1{p.Passive, p.Path[0]}]
+		return pat, ok
+	case 2:
+		pat, ok := m.two[key2{p.Passive, p.Path[0], p.Path[1]}]
+		return pat, ok
+	default:
+		pat, ok := m.rest[p.Key()]
+		return pat, ok
+	}
+}
+
+// DefaultMatcher returns the shared matcher over the five table-II
+// pattern families realized with the category verbs: active voice,
+// passive voice, "allowed to V", "able to V", and purpose expressions.
+// It is the matcher used when no mined pattern set is supplied, built
+// once per process (matchers are immutable).
 func DefaultMatcher() *Matcher {
+	defaultOnce.Do(func() {
+		defaultMatcher = NewMatcher(familyPatterns(verbs.Lemmas()))
+	})
+	return defaultMatcher
+}
+
+// ExtendedMatcher is DefaultMatcher with the synonym verb lists of the
+// paper's future-work extension: the pattern families are realized
+// over the extended lemma set and classified with
+// verbs.ExtendedCategoryOf, recovering the "display"-style false
+// negatives. Built once per process.
+func ExtendedMatcher() *Matcher {
+	extendedOnce.Do(func() {
+		extendedMatcher = NewMatcherWithCategories(
+			familyPatterns(verbs.ExtendedLemmas()), verbs.ExtendedCategoryOf)
+	})
+	return extendedMatcher
+}
+
+var (
+	defaultOnce     sync.Once
+	defaultMatcher  *Matcher
+	extendedOnce    sync.Once
+	extendedMatcher *Matcher
+)
+
+// familyPatterns realizes the five table-II pattern families over a
+// lemma set.
+func familyPatterns(lemmas []string) []Pattern {
 	var pats []Pattern
-	for _, v := range verbs.Lemmas() {
+	for _, v := range lemmas {
 		pats = append(pats,
 			Pattern{Path: []string{v}},                // P1 active
 			Pattern{Path: []string{v}, Passive: true}, // P2 passive
@@ -51,33 +148,24 @@ func DefaultMatcher() *Matcher {
 			pats = append(pats, Pattern{Path: []string{u, v}})
 		}
 	}
-	return NewMatcher(pats)
-}
-
-// ExtendedMatcher is DefaultMatcher with the synonym verb lists of the
-// paper's future-work extension: the pattern families are realized
-// over the extended lemma set and classified with
-// verbs.ExtendedCategoryOf, recovering the "display"-style false
-// negatives.
-func ExtendedMatcher() *Matcher {
-	var pats []Pattern
-	for _, v := range verbs.ExtendedLemmas() {
-		pats = append(pats,
-			Pattern{Path: []string{v}},
-			Pattern{Path: []string{v}, Passive: true},
-			Pattern{Path: []string{"allow", v}},
-			Pattern{Path: []string{"permit", v}},
-			Pattern{Path: []string{"able", v}},
-		)
-		for _, u := range verbs.UseVerbs {
-			pats = append(pats, Pattern{Path: []string{u, v}})
-		}
-	}
-	return NewMatcherWithCategories(pats, verbs.ExtendedCategoryOf)
+	return pats
 }
 
 // Len returns the number of patterns in the matcher.
-func (m *Matcher) Len() int { return len(m.keys) }
+func (m *Matcher) Len() int { return m.n }
+
+// CouldMatch reports whether the sentence text can contain a pattern
+// realization at all. Every candidate path element is the lemma of a
+// sentence token, so a sentence with no token lemmatizing to any
+// pattern's first path element cannot match — callers skip the parse
+// entirely. False positives are expected (it is a prefilter); false
+// negatives are impossible (see nlp.SurfaceForms).
+func (m *Matcher) CouldMatch(sentence string) bool {
+	if m.prefilter == nil {
+		return true
+	}
+	return m.prefilter.HasToken(sentence)
+}
 
 // Match is a matched candidate in a sentence.
 type Match struct {
@@ -91,7 +179,7 @@ type Match struct {
 func (m *Matcher) MatchParse(p *nlp.Parse) []Match {
 	var out []Match
 	for _, c := range Extract(p) {
-		pat, ok := m.keys[c.Pattern.Key()]
+		pat, ok := m.lookup(c.Pattern)
 		if !ok {
 			continue
 		}
@@ -107,7 +195,7 @@ func (m *Matcher) MatchParse(p *nlp.Parse) []Match {
 // Useful reports whether the sentence parse matches any pattern.
 func (m *Matcher) Useful(p *nlp.Parse) bool {
 	for _, c := range Extract(p) {
-		if _, ok := m.keys[c.Pattern.Key()]; ok {
+		if _, ok := m.lookup(c.Pattern); ok {
 			return true
 		}
 	}

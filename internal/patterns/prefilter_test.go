@@ -1,0 +1,82 @@
+package patterns
+
+import (
+	"testing"
+
+	"ppchecker/internal/verbs"
+)
+
+func TestCouldMatch(t *testing.T) {
+	m := DefaultMatcher()
+	for _, sent := range []string{
+		"we may collect your location.",
+		"your data will be shared with partners.",
+		"we are tracking usage statistics.", // inflected form
+		"data is stored on our servers.",
+	} {
+		if !m.CouldMatch(sent) {
+			t.Errorf("CouldMatch(%q) = false", sent)
+		}
+	}
+	for _, sent := range []string{
+		"please review this policy carefully.",
+		"the user profile page is colourful.", // "use" inside "user" must not fire
+		"our reuse-friendly misuse of words.", // no token boundary
+		"",
+	} {
+		if m.CouldMatch(sent) {
+			t.Errorf("CouldMatch(%q) = true", sent)
+		}
+	}
+}
+
+func TestCouldMatchDisabledByEmptyPath(t *testing.T) {
+	m := NewMatcher([]Pattern{{Path: []string{"collect"}}, {Path: nil}})
+	if !m.CouldMatch("entirely unrelated text") {
+		t.Fatal("prefilter must be disabled when a pattern has an empty path")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestLookupShapes(t *testing.T) {
+	long := Pattern{Path: []string{"allow", "use", "share"}}
+	pats := []Pattern{
+		{Path: []string{"collect"}},
+		{Path: []string{"collect"}, Passive: true},
+		{Path: []string{"allow", "use"}},
+		long,
+	}
+	m := NewMatcher(pats)
+	if m.Len() != len(pats) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(pats))
+	}
+	for _, p := range pats {
+		got, ok := m.lookup(p)
+		if !ok || got.Key() != p.Key() {
+			t.Errorf("lookup(%v) = %v, %v", p, got, ok)
+		}
+	}
+	for _, p := range []Pattern{
+		{Path: []string{"use"}},
+		{Path: []string{"allow", "use"}, Passive: true},
+		{Path: []string{"allow", "use", "keep"}},
+		{Path: nil},
+	} {
+		if _, ok := m.lookup(p); ok {
+			t.Errorf("lookup(%v) unexpectedly hit", p)
+		}
+	}
+}
+
+func TestStockMatchersMemoizedAndEquivalent(t *testing.T) {
+	if DefaultMatcher() != DefaultMatcher() || ExtendedMatcher() != ExtendedMatcher() {
+		t.Fatal("stock matchers must be shared")
+	}
+	// The memoized default has the same pattern set as a fresh build.
+	fresh := NewMatcher(familyPatterns(verbs.Lemmas()))
+	if fresh.Len() != DefaultMatcher().Len() {
+		t.Fatalf("fresh %d patterns, memoized %d", fresh.Len(), DefaultMatcher().Len())
+	}
+}

@@ -8,7 +8,9 @@ package policy
 
 import (
 	"strings"
+	"sync"
 
+	"ppchecker/internal/actrie"
 	"ppchecker/internal/htmltext"
 	"ppchecker/internal/negation"
 	"ppchecker/internal/nlp"
@@ -147,11 +149,22 @@ func (a *Analyzer) AnalyzeHTML(html string) *Analysis {
 // AnalyzeText analyzes plain policy text.
 func (a *Analyzer) AnalyzeText(text string) *Analysis {
 	res := &Analysis{Sentences: nlp.SplitSentences(text)}
+	// One pooled parse buffer serves every sentence: nothing a
+	// statement retains aliases the parse (resources, targets and
+	// constraints are extracted as fresh strings).
+	pb := nlp.GetParseBuffer()
+	defer pb.Release()
 	for i, sent := range res.Sentences {
 		if isDisclaimer(sent) {
 			res.Disclaimer = true
 		}
-		parse := nlp.ParseSentence(sent)
+		// A sentence that cannot realize any pattern yields no
+		// statements (analyzeSentence would return nil on the empty
+		// match set), so the dependency parse is skipped outright.
+		if !a.matcher.CouldMatch(sent) {
+			continue
+		}
+		parse := pb.Parse(sent)
 		sts := a.analyzeSentence(i, sent, parse)
 		for _, st := range sts {
 			res.Statements = append(res.Statements, st)
@@ -308,9 +321,42 @@ var consentExceptions = []string{
 	"except with your consent",
 }
 
+// Phrase scans run on one precompiled Aho-Corasick automaton per list
+// instead of a strings.Contains loop. Sentences arrive lowercased
+// (Statement.Sentence is documented lowercase), so raw byte matching
+// is exactly equivalent; the *Ref loop forms below are retained as the
+// references the differential tests compare against.
+var (
+	phraseACOnce     sync.Once
+	consentAC        *actrie.Automaton
+	disclaimerMarkAC *actrie.Automaton
+	disclaimerCtxAC  *actrie.Automaton
+)
+
+func phraseAutomatons() {
+	phraseACOnce.Do(func() {
+		b := actrie.NewBuilder(false)
+		b.AddAll(consentExceptions, 1)
+		consentAC = b.Build()
+		b = actrie.NewBuilder(false)
+		b.AddAll([]string{"not responsible", "no responsibility"}, 1)
+		disclaimerMarkAC = b.Build()
+		b = actrie.NewBuilder(false)
+		b.AddAll([]string{"third", "those sites", "other sites", "these parties"}, 1)
+		disclaimerCtxAC = b.Build()
+	})
+}
+
 // hasConsentException reports whether the sentence carries a consent
 // exception.
 func hasConsentException(sent string) bool {
+	phraseAutomatons()
+	return consentAC.ContainsAny(sent)
+}
+
+// hasConsentExceptionRef is the retained loop reference for
+// hasConsentException.
+func hasConsentExceptionRef(sent string) bool {
 	for _, phrase := range consentExceptions {
 		if strings.Contains(sent, phrase) {
 			return true
@@ -337,7 +383,15 @@ func constraintExcludes(cs []ConstraintInfo) bool {
 
 // isDisclaimer recognises third-party responsibility disclaimers, e.g.
 // "we are not responsible for the privacy practices of those sites".
+// The context automaton omits "third-party"/"third parties": both are
+// superstrings of "third", so the disjunction is unchanged.
 func isDisclaimer(sent string) bool {
+	phraseAutomatons()
+	return disclaimerMarkAC.ContainsAny(sent) && disclaimerCtxAC.ContainsAny(sent)
+}
+
+// isDisclaimerRef is the retained loop reference for isDisclaimer.
+func isDisclaimerRef(sent string) bool {
 	if !strings.Contains(sent, "not responsible") && !strings.Contains(sent, "no responsibility") {
 		return false
 	}

@@ -125,39 +125,58 @@ func AnalyzeCtx(ctx context.Context, a *apk.APK, opts Options) (*Result, error) 
 	return res, nil
 }
 
+// Scratch is the collection pass's reusable per-worker state: the APG
+// build buffers plus the per-method URI register maps. A zero value is
+// ready to use; worker pools keep one per arena so repeated collection
+// passes stop re-allocating per app.
+type Scratch struct {
+	Build apg.BuildScratch
+	uri   uriScratch
+}
+
 // Collect runs the APG build and the collection-site scan — everything
 // except the taint analysis — and returns the APG so the caller can run
 // TaintLeaks as a separately-degradable stage.
 func Collect(ctx context.Context, a *apk.APK, opts Options) (*Result, *apg.APG, error) {
+	return CollectWith(ctx, a, opts, nil)
+}
+
+// CollectWith is Collect with caller-provided scratch (nil falls back
+// to internal pools); worker pools pass a per-arena scratch to avoid
+// re-allocating per app.
+func CollectWith(ctx context.Context, a *apk.APK, opts Options, s *Scratch) (*Result, *apg.APG, error) {
 	if a == nil || a.Dex == nil {
 		return nil, nil, errors.New("static: nil apk or bytecode")
 	}
 	if a.Manifest == nil {
 		return nil, nil, errors.New("static: nil manifest")
 	}
-	p, err := apg.BuildCtx(ctx, a, opts.APG)
+	var build *apg.BuildScratch
+	us := &uriScratch{}
+	if s != nil {
+		build, us = &s.Build, &s.uri
+	}
+	p, err := apg.BuildCtxWith(ctx, a, opts.APG, build)
 	if err != nil {
 		return nil, nil, err
 	}
 	res := &Result{Packed: a.Packed}
-	reachable := map[dex.MethodRef]bool{}
-	if opts.Reachability {
-		reachable = p.ReachableMethods()
-	}
 	pkg := a.Manifest.Package
 
 	for _, cls := range a.Dex.Classes {
 		for _, m := range cls.Methods {
-			if opts.Reachability && !reachable[m.Ref()] {
+			// The entry-point closure is memoized on the APG and shared
+			// with the taint stage.
+			if opts.Reachability && !p.MethodReachable(m.Ref()) {
 				continue
 			}
-			res.Sites = append(res.Sites, scanMethod(a, m, pkg, opts)...)
+			res.Sites = append(res.Sites, scanMethod(a, m, pkg, opts, us)...)
 		}
 	}
 	// Permission filter: drop sites whose guarding permission the app
 	// does not request (§IV-A: "we only consider the app that requires
 	// the corresponding permissions").
-	var kept []CollectionSite
+	kept := make([]CollectionSite, 0, len(res.Sites))
 	for _, s := range res.Sites {
 		if s.Permission != "" && !a.Manifest.HasPermission(s.Permission) {
 			// Location is guarded by either of two permissions.
@@ -173,7 +192,13 @@ func Collect(ctx context.Context, a *apk.APK, opts Options) (*Result, *apg.APG, 
 
 // TaintLeaks runs the taint stage over a previously built APG.
 func TaintLeaks(ctx context.Context, p *apg.APG) ([]taint.Leak, error) {
-	tres, err := taint.AnalyzeCtx(ctx, p)
+	return TaintLeaksWith(ctx, p, nil)
+}
+
+// TaintLeaksWith is TaintLeaks with caller-provided fixpoint scratch
+// (nil falls back to the taint package's internal pool).
+func TaintLeaksWith(ctx context.Context, p *apg.APG, s *taint.Scratch) ([]taint.Leak, error) {
+	tres, err := taint.AnalyzeCtxWith(ctx, p, s)
 	if err != nil {
 		return nil, err
 	}
@@ -191,11 +216,22 @@ func permissionSatisfied(a *apk.APK, info sensitive.Info) bool {
 	return false
 }
 
+// hasStringInstr reports whether any instruction can introduce a string
+// value (const-string or sget) into a register.
+func hasStringInstr(m *dex.Method) bool {
+	for _, ins := range m.Code {
+		if ins.Op == dex.OpConstString || ins.Op == dex.OpSGet {
+			return true
+		}
+	}
+	return false
+}
+
 // scanMethod finds the sensitive accesses in one method.
-func scanMethod(a *apk.APK, m *dex.Method, pkg string, opts Options) []CollectionSite {
+func scanMethod(a *apk.APK, m *dex.Method, pkg string, opts Options, us *uriScratch) []CollectionSite {
 	var sites []CollectionSite
 	byApp := strings.HasPrefix(m.Class.ClassName(), pkg)
-	uriOf := uriRegisters(m, opts.URIAnalysis)
+	uriOf := uriRegisters(m, opts.URIAnalysis, us)
 	for i, ins := range m.Code {
 		if ins.Op != dex.OpInvokeVirtual && ins.Op != dex.OpInvokeStatic {
 			continue
@@ -226,14 +262,31 @@ func scanMethod(a *apk.APK, m *dex.Method, pkg string, opts Options) []Collectio
 	return sites
 }
 
+// uriScratch holds the per-method register maps of uriRegisters,
+// cleared and refilled for each method so one collection pass allocates
+// the maps at most once.
+type uriScratch struct {
+	out      map[int]sensitive.URIString
+	strConst map[int]string
+}
+
 // uriRegisters mirrors the taint engine's intra-method URI tracking for
-// the collection scan.
-func uriRegisters(m *dex.Method, enabled bool) map[int]sensitive.URIString {
-	out := map[int]sensitive.URIString{}
-	if !enabled {
-		return out
+// the collection scan. The returned map aliases us and is valid only
+// until the next call with the same scratch.
+func uriRegisters(m *dex.Method, enabled bool, us *uriScratch) map[int]sensitive.URIString {
+	if !enabled || !hasStringInstr(m) {
+		// URI values only enter a register through a const-string or
+		// sget; methods without either — the common case — get no maps
+		// at all, and lookups on the nil map simply miss.
+		return nil
 	}
-	strConst := map[int]string{}
+	if us.out == nil {
+		us.out = map[int]sensitive.URIString{}
+		us.strConst = map[int]string{}
+	}
+	clear(us.out)
+	clear(us.strConst)
+	out, strConst := us.out, us.strConst
 	for pass := 0; pass < 2; pass++ {
 		for _, ins := range m.Code {
 			switch ins.Op {

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ppchecker/internal/apg"
 	"ppchecker/internal/dex"
+	"ppchecker/internal/graphdb"
 	"ppchecker/internal/sensitive"
 )
 
@@ -118,8 +120,7 @@ var callbackParamSources = map[string]sensitive.Info{
 
 // Analyzer runs taint analysis over one app.
 type Analyzer struct {
-	p         *apg.APG
-	reachable map[dex.MethodRef]bool
+	p *apg.APG
 
 	regTaint   map[dex.MethodRef][]factSet // per method, per register
 	fieldTaint map[string]factSet          // by field name/spec
@@ -134,7 +135,54 @@ type Analyzer struct {
 	// (separately from data taint): reg -> uri info with provenance.
 	leaks    []Leak
 	leakSeen map[string]bool
+
+	scratch *Scratch
 }
+
+// Scratch holds the analyzer's reusable interprocedural state: the
+// fact-set maps and the worklist buffers. A zero value is ready to
+// use; worker pools keep one per arena and pass it to AnalyzeCtxWith
+// so repeated analyses stop re-allocating per app. The contained maps
+// are cleared (not freed) between runs.
+type Scratch struct {
+	regTaint   map[dex.MethodRef][]factSet
+	fieldTaint map[string]factSet
+	retTaint   map[dex.MethodRef]factSet
+	callers    map[dex.MethodRef][]dex.MethodRef
+	iccTargets map[dex.MethodRef][]dex.MethodRef
+	leakSeen   map[string]bool
+	work       []dex.MethodRef
+	inWork     map[dex.MethodRef]bool
+	iccBuf     []graphdb.NodeID
+	// uriOut/uriStr are the per-method register maps of uriRegisters,
+	// cleared and refilled for each method the worklist visits.
+	uriOut map[int]sensitive.URIString
+	uriStr map[int]string
+}
+
+// reset clears the scratch for the next run, keeping capacity.
+func (s *Scratch) reset() {
+	if s.regTaint == nil {
+		s.regTaint = map[dex.MethodRef][]factSet{}
+		s.fieldTaint = map[string]factSet{}
+		s.retTaint = map[dex.MethodRef]factSet{}
+		s.callers = map[dex.MethodRef][]dex.MethodRef{}
+		s.iccTargets = map[dex.MethodRef][]dex.MethodRef{}
+		s.leakSeen = map[string]bool{}
+		s.inWork = map[dex.MethodRef]bool{}
+		return
+	}
+	clear(s.regTaint)
+	clear(s.fieldTaint)
+	clear(s.retTaint)
+	clear(s.callers)
+	clear(s.iccTargets)
+	clear(s.leakSeen)
+	clear(s.inWork)
+	s.work = s.work[:0]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // maxWorklistRounds bounds the interprocedural fixpoint; a worklist
 // still wet after this many rounds indicates an adversarial call graph.
@@ -157,33 +205,49 @@ func Analyze(p *apg.APG) *Result {
 // the worklist loop. On cancellation or budget exhaustion it returns
 // the (partial) result found so far together with the error.
 func AnalyzeCtx(ctx context.Context, p *apg.APG) (*Result, error) {
+	return AnalyzeCtxWith(ctx, p, nil)
+}
+
+// AnalyzeCtxWith is AnalyzeCtx with caller-provided scratch state; a
+// nil scratch borrows one from an internal pool. The returned Result
+// owns its leaks — only the intermediate fixpoint state is pooled.
+func AnalyzeCtxWith(ctx context.Context, p *apg.APG, s *Scratch) (*Result, error) {
 	if p == nil {
 		return &Result{}, errors.New("taint: nil APG")
 	}
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(s)
+	}
+	s.reset()
 	a := &Analyzer{
 		p:          p,
-		reachable:  p.ReachableMethods(),
-		regTaint:   map[dex.MethodRef][]factSet{},
-		fieldTaint: map[string]factSet{},
-		retTaint:   map[dex.MethodRef]factSet{},
-		callers:    map[dex.MethodRef][]dex.MethodRef{},
-		iccTargets: map[dex.MethodRef][]dex.MethodRef{},
-		leakSeen:   map[string]bool{},
+		regTaint:   s.regTaint,
+		fieldTaint: s.fieldTaint,
+		retTaint:   s.retTaint,
+		callers:    s.callers,
+		iccTargets: s.iccTargets,
+		leakSeen:   s.leakSeen,
+		scratch:    s,
 	}
 	a.collectICCTargets()
 	err := a.run(ctx)
 	return &Result{Leaks: a.leaks}, err
 }
 
-// collectICCTargets reads the APG's icc edges into a method-level map.
+// collectICCTargets reads the APG's icc edges into a method-level map,
+// querying the frozen CSR view.
 func (a *Analyzer) collectICCTargets() {
+	f := a.p.Frozen()
+	buf := a.scratch.iccBuf
 	for _, ref := range a.p.Methods() {
 		id, ok := a.p.MethodNode(ref)
 		if !ok {
 			continue
 		}
-		for _, to := range a.p.G.Out(id, apg.EdgeICC) {
-			n := a.p.G.Node(to)
+		buf = f.OutInto(buf[:0], id, apg.EdgeICC)
+		for _, to := range buf {
+			n := f.Node(to)
 			target := dex.MethodRef{
 				Class: dex.TypeDesc(n.Prop("class")),
 				Name:  n.Prop("name"),
@@ -192,17 +256,20 @@ func (a *Analyzer) collectICCTargets() {
 			a.iccTargets[ref] = append(a.iccTargets[ref], target)
 		}
 	}
+	a.scratch.iccBuf = buf
 }
 
 func (a *Analyzer) run(ctx context.Context) error {
 	// Seed the worklist with every reachable method, in stable order.
-	var work []dex.MethodRef
+	// Reachability is memoized on the APG and shared with the static
+	// collection scan.
+	work := a.scratch.work[:0]
 	for _, ref := range a.p.Methods() {
-		if a.reachable[ref] {
+		if a.p.MethodReachable(ref) {
 			work = append(work, ref)
 		}
 	}
-	inWork := map[dex.MethodRef]bool{}
+	inWork := a.scratch.inWork
 	for _, w := range work {
 		inWork[w] = true
 	}
@@ -218,7 +285,7 @@ func (a *Analyzer) run(ctx context.Context) error {
 		inWork[ref] = false
 		changedCallees, changedRet := a.processMethod(ref)
 		for _, c := range changedCallees {
-			if a.reachable[c] && !inWork[c] {
+			if a.p.MethodReachable(c) && !inWork[c] {
 				inWork[c] = true
 				work = append(work, c)
 			}
@@ -232,6 +299,7 @@ func (a *Analyzer) run(ctx context.Context) error {
 			}
 		}
 	}
+	a.scratch.work = work[:0]
 	if len(work) > 0 {
 		return fmt.Errorf("%w: %d methods still pending after %d rounds",
 			ErrBudgetExhausted, len(work), rounds)
@@ -239,21 +307,31 @@ func (a *Analyzer) run(ctx context.Context) error {
 	return nil
 }
 
-// regs returns the fact sets of a method, allocating on first use.
+// regs returns the fact sets of a method, allocating the slice on
+// first use. Individual register sets stay nil until first written
+// (see taintInto) — reads treat a nil factSet as empty, which saves
+// one map allocation per register in the common all-clean case.
 func (a *Analyzer) regs(ref dex.MethodRef, numRegs int) []factSet {
 	rs, ok := a.regTaint[ref]
 	if !ok || len(rs) < numRegs {
 		grown := make([]factSet, numRegs)
 		copy(grown, rs)
-		for i := range grown {
-			if grown[i] == nil {
-				grown[i] = factSet{}
-			}
-		}
 		a.regTaint[ref] = grown
 		rs = grown
 	}
 	return rs
+}
+
+// mergeInto merges facts into rs[dst], allocating the destination set
+// lazily; reports whether anything changed.
+func mergeInto(rs []factSet, dst int, facts factSet) bool {
+	if dst < 0 || dst >= len(rs) || len(facts) == 0 {
+		return false
+	}
+	if rs[dst] == nil {
+		rs[dst] = make(factSet, len(facts))
+	}
+	return rs[dst].merge(facts)
 }
 
 // processMethod interprets one method to a local fixpoint. It returns
@@ -274,9 +352,12 @@ func (a *Analyzer) processMethod(ref dex.MethodRef) (changedCallees []dex.Method
 	// Callback parameter sources (e.g. onLocationChanged's Location).
 	if info, ok := callbackParamSources[m.Name]; ok && m.NumParams() > 0 {
 		pr := m.ParamReg(0)
-		if pr < len(rs) {
+		if pr >= 0 && pr < len(rs) {
 			src := Step{Method: ref, Index: -1, Note: "callback parameter carries " + string(info)}
 			if _, have := rs[pr][info]; !have {
+				if rs[pr] == nil {
+					rs[pr] = factSet{}
+				}
 				rs[pr][info] = extend(nil, src)
 			}
 		}
@@ -312,7 +393,7 @@ func (a *Analyzer) step(ref dex.MethodRef, m *dex.Method, rs []factSet,
 
 	changed := false
 	taintReg := func(dst int, facts factSet) {
-		if dst >= 0 && dst < len(rs) && rs[dst].merge(facts) {
+		if mergeInto(rs, dst, facts) {
 			changed = true
 		}
 	}
@@ -362,7 +443,7 @@ func (a *Analyzer) stepInvoke(ref dex.MethodRef, m *dex.Method, rs []factSet,
 
 	changed := false
 	taintReg := func(dst int, facts factSet) {
-		if dst >= 0 && dst < len(rs) && rs[dst].merge(facts) {
+		if mergeInto(rs, dst, facts) {
 			changed = true
 		}
 	}
@@ -427,7 +508,7 @@ func (a *Analyzer) stepInvoke(ref dex.MethodRef, m *dex.Method, rs []factSet,
 				for info, tr := range rs[intentReg] {
 					facts[info] = extend(tr, hop)
 				}
-				if crs[dst].merge(facts) {
+				if mergeInto(crs, dst, facts) {
 					calleeChanged[callee.Ref()] = true
 				}
 			}
@@ -472,7 +553,7 @@ func (a *Analyzer) stepInvoke(ref dex.MethodRef, m *dex.Method, rs []factSet,
 			for info, tr := range rs[argReg] {
 				facts[info] = extend(tr, hop)
 			}
-			if crs[dst].merge(facts) {
+			if mergeInto(crs, dst, facts) {
 				calleeChanged[calleeRef] = true
 			}
 		}
@@ -542,8 +623,30 @@ func (a *Analyzer) report(info sensitive.Info, sink sensitive.Sink, method dex.M
 // static fields (sget), propagated through moves. Flow-insensitive
 // within the method, matching §III-C2's path-collection step.
 func (a *Analyzer) uriRegisters(m *dex.Method) map[int]sensitive.URIString {
-	out := map[int]sensitive.URIString{}
-	strConst := map[int]string{}
+	// URI values only enter a register through a const-string or sget;
+	// methods without either — the common case — get no maps at all,
+	// and lookups on the nil map simply miss.
+	interesting := false
+	for _, ins := range m.Code {
+		if ins.Op == dex.OpConstString || ins.Op == dex.OpSGet {
+			interesting = true
+			break
+		}
+	}
+	if !interesting {
+		return nil
+	}
+	sc := a.scratch
+	if sc.uriOut == nil {
+		sc.uriOut = map[int]sensitive.URIString{}
+		sc.uriStr = map[int]string{}
+	}
+	clear(sc.uriOut)
+	clear(sc.uriStr)
+	// The maps alias the scratch; they are valid only until the next
+	// uriRegisters call, which is exactly the one-method lifetime the
+	// fixpoint needs.
+	out, strConst := sc.uriOut, sc.uriStr
 	for pass := 0; pass < 2; pass++ {
 		for _, ins := range m.Code {
 			switch ins.Op {

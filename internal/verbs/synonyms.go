@@ -24,22 +24,8 @@ var (
 	}
 )
 
-var synonymByLemma = func() map[string]Category {
-	m := map[string]Category{}
-	for _, v := range SynonymCollect {
-		m[v] = Collect
-	}
-	for _, v := range SynonymUse {
-		m[v] = Use
-	}
-	for _, v := range SynonymRetain {
-		m[v] = Retain
-	}
-	for _, v := range SynonymDisclose {
-		m[v] = Disclose
-	}
-	return m
-}()
+// The synonym lookup tables live in verbs.go's init (see the note
+// there about init file order).
 
 // ExtendedCategoryOf is CategoryOf with the synonym lists included.
 func ExtendedCategoryOf(verb string) Category {
@@ -49,12 +35,14 @@ func ExtendedCategoryOf(verb string) Category {
 	return synonymByLemma[nlp.Lemma(verb)]
 }
 
-// ExtendedLemmas returns the category lemmas plus all synonyms.
+// ExtendedMaskOf is MaskOf with the synonym lists included.
+func ExtendedMaskOf(verb string) Mask { return extendedMask[nlp.Lemma(verb)] }
+
+// ExtendedLemmaMaskOf is ExtendedMaskOf for an already-lemmatized verb.
+func ExtendedLemmaMaskOf(lemma string) Mask { return extendedMask[lemma] }
+
+// ExtendedLemmas returns the category lemmas plus all synonyms,
+// deduplicated in first-seen order.
 func ExtendedLemmas() []string {
-	out := Lemmas()
-	out = append(out, SynonymCollect...)
-	out = append(out, SynonymUse...)
-	out = append(out, SynonymRetain...)
-	out = append(out, SynonymDisclose...)
-	return out
+	return append([]string(nil), extendedLemmas...)
 }

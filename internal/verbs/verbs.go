@@ -53,21 +53,59 @@ var (
 	}
 )
 
-var byLemma = map[string]Category{}
+// Mask is a bitset of categories, one bit per category, so a single
+// lookup answers membership in all four lists at once.
+type Mask uint8
 
+// Bit returns the mask bit of a category (None has no bit).
+func (c Category) Bit() Mask {
+	if c == None {
+		return 0
+	}
+	return 1 << (uint(c) - 1)
+}
+
+// Has reports whether the mask contains the category.
+func (m Mask) Has(c Category) bool { return m&c.Bit() != 0 }
+
+var (
+	byLemma   = map[string]Category{}
+	lemmaMask = map[string]Mask{}
+	// lemmas is the deduplicated union of the four lists, first-seen
+	// order.
+	lemmas []string
+
+	synonymByLemma = map[string]Category{}
+	extendedMask   = map[string]Mask{}
+	extendedLemmas []string
+)
+
+// init builds every lookup table here — including the synonym tables
+// declared in synonyms.go — because init functions run in file order
+// and synonyms.go sorts before verbs.go.
 func init() {
-	for _, v := range CollectVerbs {
-		byLemma[v] = Collect
+	addList := func(list []string, c Category, mask map[string]Mask, out *[]string, cats map[string]Category) {
+		for _, v := range list {
+			if _, dup := mask[v]; !dup {
+				*out = append(*out, v)
+			}
+			mask[v] |= c.Bit()
+			cats[v] = c
+		}
 	}
-	for _, v := range UseVerbs {
-		byLemma[v] = Use
+	addList(CollectVerbs, Collect, lemmaMask, &lemmas, byLemma)
+	addList(UseVerbs, Use, lemmaMask, &lemmas, byLemma)
+	addList(RetainVerbs, Retain, lemmaMask, &lemmas, byLemma)
+	addList(DiscloseVerbs, Disclose, lemmaMask, &lemmas, byLemma)
+
+	extendedLemmas = append(extendedLemmas, lemmas...)
+	for _, l := range lemmas {
+		extendedMask[l] = lemmaMask[l]
 	}
-	for _, v := range RetainVerbs {
-		byLemma[v] = Retain
-	}
-	for _, v := range DiscloseVerbs {
-		byLemma[v] = Disclose
-	}
+	addList(SynonymCollect, Collect, extendedMask, &extendedLemmas, synonymByLemma)
+	addList(SynonymUse, Use, extendedMask, &extendedLemmas, synonymByLemma)
+	addList(SynonymRetain, Retain, extendedMask, &extendedLemmas, synonymByLemma)
+	addList(SynonymDisclose, Disclose, extendedMask, &extendedLemmas, synonymByLemma)
 }
 
 // CategoryOf returns the category of a verb (any inflection), or None.
@@ -75,14 +113,18 @@ func CategoryOf(verb string) Category {
 	return byLemma[nlp.Lemma(verb)]
 }
 
+// MaskOf returns the category bitmask of a verb (any inflection) over
+// the core lists.
+func MaskOf(verb string) Mask { return lemmaMask[nlp.Lemma(verb)] }
+
+// LemmaMaskOf is MaskOf for an already-lemmatized verb.
+func LemmaMaskOf(lemma string) Mask { return lemmaMask[lemma] }
+
 // IsMainVerb reports whether the verb belongs to any category.
 func IsMainVerb(verb string) bool { return CategoryOf(verb) != None }
 
-// Lemmas returns all category verb lemmas.
+// Lemmas returns all category verb lemmas, deduplicated across the
+// four lists in first-seen order.
 func Lemmas() []string {
-	out := make([]string, 0, len(byLemma))
-	for _, vs := range [][]string{CollectVerbs, UseVerbs, RetainVerbs, DiscloseVerbs} {
-		out = append(out, vs...)
-	}
-	return out
+	return append([]string(nil), lemmas...)
 }

@@ -1,6 +1,10 @@
 package verbs
 
-import "testing"
+import (
+	"testing"
+
+	"ppchecker/internal/nlp"
+)
 
 func TestCategoryOf(t *testing.T) {
 	cases := map[string]Category{
@@ -51,15 +55,96 @@ func TestCategoryString(t *testing.T) {
 
 func TestLemmasCoverAllCategories(t *testing.T) {
 	lemmas := Lemmas()
-	want := len(CollectVerbs) + len(UseVerbs) + len(RetainVerbs) + len(DiscloseVerbs)
-	if len(lemmas) != want {
-		t.Fatalf("Lemmas() = %d, want %d", len(lemmas), want)
+	// Deduplicated union: every listed verb appears exactly once.
+	want := map[string]bool{}
+	for _, vs := range [][]string{CollectVerbs, UseVerbs, RetainVerbs, DiscloseVerbs} {
+		for _, v := range vs {
+			want[v] = true
+		}
 	}
+	if len(lemmas) != len(want) {
+		t.Fatalf("Lemmas() = %d, want %d", len(lemmas), len(want))
+	}
+	seen := map[string]bool{}
 	for _, l := range lemmas {
+		if seen[l] {
+			t.Errorf("lemma %q duplicated", l)
+		}
+		seen[l] = true
 		if !IsMainVerb(l) {
 			t.Errorf("lemma %q not a main verb", l)
 		}
 	}
+}
+
+func TestMaskOf(t *testing.T) {
+	// The bitmask agrees with the per-category membership scans for
+	// every lemma and inflection.
+	for _, c := range Categories() {
+		if !c.Bit().Has(c) || c.Bit().Has(None) {
+			t.Fatalf("Bit/Has broken for %v", c)
+		}
+	}
+	cases := []string{"collect", "collected", "using", "stores", "shared",
+		"display", "banana", "", "the"}
+	for _, l := range Lemmas() {
+		cases = append(cases, l)
+	}
+	for _, verb := range cases {
+		m, em := MaskOf(verb), ExtendedMaskOf(verb)
+		for _, c := range Categories() {
+			if m.Has(c) != (CategoryOf(verb) == c && c != None) && CategoryOf(verb) != None {
+				// A lemma may sit in several lists under the mask even
+				// though CategoryOf reports one; assert containment.
+				if CategoryOf(verb) == c && !m.Has(c) {
+					t.Errorf("MaskOf(%q) missing %v", verb, c)
+				}
+			}
+		}
+		if c := CategoryOf(verb); c != None && !m.Has(c) {
+			t.Errorf("MaskOf(%q) missing CategoryOf %v", verb, c)
+		}
+		if c := ExtendedCategoryOf(verb); c != None && !em.Has(c) {
+			t.Errorf("ExtendedMaskOf(%q) missing %v", verb, c)
+		}
+		if m != 0 && ExtendedCategoryOf(verb) == None {
+			t.Errorf("mask %q set but no category", verb)
+		}
+		if em&^maskUnion(verb) != 0 {
+			t.Errorf("ExtendedMaskOf(%q) = %b has bits beyond list membership", verb, em)
+		}
+	}
+	if MaskOf("display") != 0 {
+		t.Fatal("core mask includes synonym-only verb")
+	}
+	if !ExtendedMaskOf("display").Has(Disclose) {
+		t.Fatal("extended mask misses display")
+	}
+}
+
+// maskUnion recomputes a verb's mask from the raw lists — the loop
+// reference the bitmask is checked against.
+func maskUnion(verb string) Mask {
+	var m Mask
+	l := nlp.Lemma(verb)
+	for _, pair := range []struct {
+		lists [][]string
+		cat   Category
+	}{
+		{[][]string{CollectVerbs, SynonymCollect}, Collect},
+		{[][]string{UseVerbs, SynonymUse}, Use},
+		{[][]string{RetainVerbs, SynonymRetain}, Retain},
+		{[][]string{DiscloseVerbs, SynonymDisclose}, Disclose},
+	} {
+		for _, list := range pair.lists {
+			for _, v := range list {
+				if v == l {
+					m |= pair.cat.Bit()
+				}
+			}
+		}
+	}
+	return m
 }
 
 func TestExtendedCategoryOf(t *testing.T) {

@@ -11,10 +11,12 @@
 #
 # The gated set is the observability- and performance-critical path:
 # the end-to-end CheckSafe pair (uninstrumented vs observed — their
-# ratio is the observer overhead), the ESA Similarity benches (warm =
-# memoized vector path, cold = fresh interpretation, reference = legacy
-# map path), the obs span microbenches, and the Table IV outcome bench
-# whose custom metrics pin the paper's inconsistency precision/recall
+# ratio is the observer overhead), the frozen-CSR graph query mix and
+# the Aho-Corasick lexicon screen (the two hot substrates under the
+# pipeline), the ESA Similarity benches (warm = memoized vector path,
+# cold = fresh interpretation, reference = legacy map path), the obs
+# span microbenches, and the Table IV outcome bench whose custom
+# metrics pin the paper's inconsistency precision/recall
 # (-benchtime=1x: outcome run, ns/op not gated).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +27,7 @@ baseline=testdata/bench_baseline.json
 tol="${BENCH_TOLERANCE:-0.20}"
 
 run_benches() {
-  go test -run '^$' -bench 'CheckSafe|Similarity(Warm|Cold|ReferenceMap)|Span(Nil|Metrics|JSONL)' \
+  go test -run '^$' -bench 'CheckSafe|GraphQueryThroughput|LexiconMatch|Similarity(Warm|Cold|ReferenceMap)|Span(Nil|Metrics|JSONL)' \
     -benchmem -benchtime "${BENCH_TIME:-1s}" . ./internal/obs
   go test -run '^$' -bench 'TableIVInconsistency' -benchtime 1x .
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # deflake_stress.sh — hammer the timing-sensitive test surfaces under
 # the race detector to prove the synchronization fixes hold: the
-# stream backpressure/soak/journal tests and the serve admission/drain
-# tests run COUNT times each (50 by default, override with COUNT=n or
-# $1). Any single failure fails the script.
+# stream backpressure/soak/journal tests, the serve admission/drain
+# tests, and the concurrency hammers for frozen-graph reads and pooled
+# per-app arena reuse run COUNT times each (50 by default, override
+# with COUNT=n or $1). Any single failure fails the script.
 #
 #   scripts/deflake_stress.sh          # 50 iterations
 #   COUNT=200 scripts/deflake_stress.sh
@@ -20,5 +21,8 @@ go test ./internal/stream/ -race -count="${COUNT}" \
 
 go test ./internal/serve/ -race -count="${COUNT}" -short \
     -run 'TestServeGracefulDrain|TestServeConcurrentClients|TestServeCheckHistory'
+
+go test ./internal/graphdb/ ./internal/core/ -race -count="${COUNT}" \
+    -run 'TestFrozenConcurrentReads|TestCheckSafeConcurrentArenaReuse'
 
 echo "deflake stress: all ${COUNT} iterations passed"

@@ -37,6 +37,31 @@ func main() {
 	writeHTMLSeeds()
 	writeNLPSeeds()
 	writeLongiSeeds()
+	writeActrieSeeds()
+}
+
+func writeActrieSeeds() {
+	// FuzzLexiconMatch takes (patterns, text): newline-separated pattern
+	// list and a subject string, checked DFA-vs-reference in both fold
+	// modes. The planted classes are the boundary traps the analyzers
+	// lean on: prefix-nested patterns, token boundaries at apostrophes
+	// and hyphens, overlapping phrases, case folding across words, and
+	// UTF-8 bytes adjacent to ASCII matches (non-ASCII must read as a
+	// token boundary, never as a word character).
+	emit := pairSeeder("internal/actrie", "FuzzLexiconMatch")
+	emit("prefix-nest", "use\nuser\nshare", "the user may use and share data")
+	emit("substring-traps", "use", "re-use misuse user's use")
+	emit("apostrophe-boundary", "do\ndon", "don't do that, donor")
+	emit("pronoun-overlap", "he\nshe\nher\nhers", "she gave hers to her and he left")
+	emit("stem-pair", "collect\ncollection", "data collection; we collect it")
+	emit("phrase-overlap", "third party\nparty", "third parties and one third party")
+	emit("self-overlap", "a\naa\naaa", "aaaa aaa'a a-a a")
+	emit("utf8-neighbors", "use", "usé use usë")
+	emit("clitic-patterns", "'s\nn't", "user's don't n't 's")
+	emit("fold-cross-word", "Share Data", "we SHARE DATA and share data")
+	emit("empty", "", "")
+	emit("empty-pattern-line", "\nuse\n", "use it")
+	emit("byte-class-dense", "az\nza", strings.Repeat("azb", 40))
 }
 
 func writeDexSeeds() {
@@ -188,6 +213,26 @@ func seeder(pkg, target string) func(name string, value any) {
 		default:
 			log.Fatalf("unsupported seed type %T", value)
 		}
+		path := filepath.Join(dir, "seed-"+name)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// pairSeeder emits seed files for a two-string fuzz target: one
+// string(...) line per parameter, in order.
+func pairSeeder(pkg, target string) func(name, first, second string) {
+	dir := filepath.Join(filepath.FromSlash(pkg), "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	return func(name, first, second string) {
+		var b strings.Builder
+		b.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&b, "string(%q)\n", first)
+		fmt.Fprintf(&b, "string(%q)\n", second)
 		path := filepath.Join(dir, "seed-"+name)
 		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 			log.Fatal(err)
