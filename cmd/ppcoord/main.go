@@ -1,0 +1,186 @@
+// Command ppcoord runs the distributed analysis coordinator
+// (internal/dist): it owns a corpus source, the checkpoint journal and
+// the corpus-level stats, and serves work leases over HTTP to
+// worker-mode ppstream processes.
+//
+//	ppcoord -addr :8080 -firehose -seed 7 -apps 5000 -journal run.journal
+//	ppcoord -addr :8080 -dir corpus/ -shards 4
+//	ppstream -worker http://coordinator:8080 -workers 4   (on each box)
+//
+// The coordinator grants each app to exactly one worker at a time
+// under a lease; a worker that dies mid-app simply stops renewing —
+// its leases expire and the apps are reassigned to survivors. Every
+// folded outcome is checkpointed to the journal first, so a killed
+// coordinator re-invoked with the same -journal resumes bit-identically,
+// exactly like a single-process ppstream run.
+//
+// -shards N hosts N in-memory artifact shards at /shard/<i>; workers
+// read the shared library-policy analysis cache through them, so a
+// policy analyzed by one worker is free for every other.
+//
+// Exit codes: 0 clean, 1 on a run failure, 2 on a usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ppchecker/internal/dist"
+	"ppchecker/internal/longi"
+	"ppchecker/internal/obs"
+	"ppchecker/internal/stream"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("ppcoord: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address for the lease protocol")
+		dir      = flag.String("dir", "", "serve an on-disk corpus directory (bundle layout; workers must see the same path)")
+		firehose = flag.Bool("firehose", false, "serve the synthetic Play-store firehose")
+		seed     = flag.Int64("seed", 1, "firehose generator seed")
+		apps     = flag.Int64("apps", 0, "firehose cap (0 = endless)")
+
+		journalPath = flag.String("journal", "", "durable checkpoint journal (reuse to resume a killed run)")
+		fsyncEvery  = flag.Int("fsync-every", 0, "journal records per fsync batch (0 = 32)")
+
+		leaseTTL       = flag.Duration("lease-ttl", 30*time.Second, "lease deadline before an app is reassigned (size well above the workers' per-app timeout)")
+		maxOutstanding = flag.Int("max-outstanding", 64, "max concurrently leased apps (backpressure on the source)")
+		shards         = flag.Int("shards", 2, "in-memory artifact shards hosted for the shared analysis cache (0 disables)")
+
+		metricsDump = flag.Bool("metrics", false, "print the final metrics snapshot to stderr")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "keep serving 'run complete' this long after finishing, so polling workers exit cleanly instead of hitting a closed port")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || (*dir == "") == !*firehose {
+		fmt.Fprintln(os.Stderr, "ppcoord: exactly one of -dir or -firehose is required")
+		flag.Usage()
+		return 2
+	}
+
+	observer := obs.New()
+
+	var src stream.Source
+	var sourceName string
+	if *dir != "" {
+		ds, err := stream.NewDirSource(*dir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		src, sourceName = ds, "dir:"+*dir
+		log.Printf("serving %d app bundles from %s", ds.Len(), *dir)
+	} else {
+		src = stream.NewFirehoseSource(*seed, *apps)
+		sourceName = fmt.Sprintf("firehose:%d", *seed)
+		capDesc := "endless"
+		if *apps > 0 {
+			capDesc = fmt.Sprintf("%d apps", *apps)
+		}
+		log.Printf("serving the synthetic firehose (seed %d, %s)", *seed, capDesc)
+	}
+
+	var journal *stream.Journal
+	var replay *stream.Replay
+	if *journalPath != "" {
+		var err error
+		journal, replay, err = stream.OpenJournal(*journalPath, sourceName,
+			stream.JournalOptions{FsyncEvery: *fsyncEvery, Observer: observer})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer journal.Close()
+		if replay.Records > 0 {
+			log.Printf("resuming: %d checkpointed apps recovered from %s (torn tail: %v)",
+				replay.Records, *journalPath, replay.Truncated)
+		}
+	}
+
+	stores := make([]longi.Store, *shards)
+	for i := range stores {
+		stores[i] = longi.NewMemStore(0)
+	}
+
+	c := dist.NewCoordinator(dist.CoordinatorOptions{
+		Source:         src,
+		Journal:        journal,
+		Replay:         replay,
+		MaxOutstanding: *maxOutstanding,
+		LeaseTTL:       *leaseTTL,
+		Observer:       observer,
+		Shards:         stores,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	defer srv.Close()
+	log.Printf("coordinating on %s (lease TTL %s, %d shards, max %d outstanding)",
+		ln.Addr(), *leaseTTL, *shards, *maxOutstanding)
+
+	// SIGTERM/SIGINT stops waiting; in-memory progress is abandoned but
+	// everything folded so far is already in the journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	stats, err := c.Wait(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Printf("run failed: %v", err)
+		if stats.JournalErrors > 0 {
+			log.Printf("WARNING: %d journal appends failed — completed apps may be missing "+
+				"from the checkpoint log; a resume will re-analyze them", stats.JournalErrors)
+		}
+		return 1
+	}
+
+	snap := c.StatsSnapshot()
+	fmt.Println(stats.Render())
+	fmt.Printf("Coordinator: %d analyzed this run in %s, %d replayed from journal, %d re-analyzed\n",
+		stats.Apps-stats.Replayed, elapsed.Round(time.Millisecond), stats.Replayed, stats.Reanalyzed)
+	fmt.Printf("Coordinator: %d leases granted, %d expired (reassigned), %d duplicate reports\n",
+		snap.Granted, snap.Expired, snap.Duplicates)
+	if journal != nil {
+		fmt.Printf("Journal: %d records, %d fsyncs, %d append errors\n",
+			stats.JournalRecords, stats.JournalFsyncs, stats.JournalErrors)
+		if stats.JournalErrors > 0 {
+			log.Printf("WARNING: %d journal appends failed — completed apps may be missing "+
+				"from the checkpoint log; a resume will re-analyze them", stats.JournalErrors)
+		}
+	}
+	if *metricsDump {
+		fmt.Fprint(os.Stderr, observer.Snapshot().Render())
+	}
+	// Lame-duck: the latch is closed, so every remaining lease poll
+	// gets 410 (run complete) rather than a dead socket.
+	if *drainGrace > 0 {
+		select {
+		case <-time.After(*drainGrace):
+		case <-ctx.Done():
+		}
+	}
+	return 0
+}

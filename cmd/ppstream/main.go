@@ -7,6 +7,13 @@
 //	ppstream -dir corpus/ -journal run.journal
 //	ppstream -firehose -seed 7 -apps 5000 -journal run.journal
 //	ppstream -firehose -duration 30s -faults -soak -min-rate 5
+//	ppstream -worker http://coordinator:8080 -workers 4
+//
+// Worker mode (-worker) joins a ppcoord coordinator instead of owning
+// a source: the process pulls work leases, analyzes each app with the
+// same robust pipeline, and reports outcomes back. The coordinator
+// owns the journal and the corpus stats; a killed worker costs only
+// its outstanding leases, which expire and are reassigned.
 //
 // A killed run (even SIGKILL) resumes from its journal: re-invoking
 // ppstream with the same -journal skips every checkpointed app and
@@ -32,8 +39,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
+	"ppchecker/internal/dist"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/stream"
 )
@@ -74,10 +85,23 @@ func run() int {
 
 		metricsDump = flag.Bool("metrics", false, "print the final metrics snapshot to stderr")
 		trace       = flag.String("trace", "", "write a JSONL span trace to this file")
+
+		worker      = flag.String("worker", "", "worker mode: pull leases from this ppcoord coordinator URL")
+		workerName  = flag.String("worker-name", "", "worker mode: name reported in leases (default host:pid)")
+		remoteCache = flag.Bool("remote-cache", true, "worker mode: read through the coordinator-hosted analysis cache")
 	)
 	flag.Parse()
-	if flag.NArg() != 0 || (*dir == "") == !*firehose {
-		fmt.Fprintln(os.Stderr, "ppstream: exactly one of -dir or -firehose is required")
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+	if *worker == "" && (*dir == "") == !*firehose {
+		fmt.Fprintln(os.Stderr, "ppstream: exactly one of -dir, -firehose or -worker is required")
+		flag.Usage()
+		return 2
+	}
+	if *worker != "" && (*dir != "" || *firehose) {
+		fmt.Fprintln(os.Stderr, "ppstream: -worker owns no source; drop -dir/-firehose (the coordinator has them)")
 		flag.Usage()
 		return 2
 	}
@@ -94,6 +118,21 @@ func run() int {
 		obsOpts = append(obsOpts, obs.WithSink(traceSink))
 	}
 	observer := obs.New(obsOpts...)
+
+	if *worker != "" {
+		return runWorker(observer, workerConfig{
+			coordinator: *worker,
+			name:        *workerName,
+			concurrency: *workers,
+			timeout:     *timeout,
+			retries:     *retries,
+			backoff:     *backoff,
+			backoffMax:  *backoffMax,
+			jitter:      *jitter,
+			remoteCache: *remoteCache,
+			metricsDump: *metricsDump,
+		})
+	}
 
 	// Source.
 	var src stream.Source
@@ -188,6 +227,10 @@ func run() int {
 	}
 	if err != nil {
 		log.Printf("stream failed: %v", err)
+		if stats.JournalErrors > 0 {
+			log.Printf("WARNING: %d journal appends failed — completed apps may be missing "+
+				"from the checkpoint log; a resume will re-analyze them", stats.JournalErrors)
+		}
 		return 1
 	}
 
@@ -200,7 +243,12 @@ func run() int {
 		stats.QueueHighWater, stats.BackpressureStalls, stats.BreakerTrips,
 		stats.Quarantined, stats.RetryExhaustions)
 	if journal != nil {
-		fmt.Printf("Journal: %d records, %d fsyncs\n", stats.JournalRecords, stats.JournalFsyncs)
+		fmt.Printf("Journal: %d records, %d fsyncs, %d append errors\n",
+			stats.JournalRecords, stats.JournalFsyncs, stats.JournalErrors)
+		if stats.JournalErrors > 0 {
+			log.Printf("WARNING: %d journal appends failed — completed apps may be missing "+
+				"from the checkpoint log; a resume will re-analyze them", stats.JournalErrors)
+		}
 	}
 	if *metricsDump {
 		fmt.Fprint(os.Stderr, observer.Snapshot().Render())
@@ -214,6 +262,65 @@ func run() int {
 
 	if *soak {
 		return soakVerdict(stats, sampler, rate, *minRate, *heapFactor, *journalPath, sourceName)
+	}
+	return 0
+}
+
+// workerConfig carries the worker-mode flag subset.
+type workerConfig struct {
+	coordinator string
+	name        string
+	concurrency int
+	timeout     time.Duration
+	retries     int
+	backoff     time.Duration
+	backoffMax  time.Duration
+	jitter      float64
+	remoteCache bool
+	metricsDump bool
+}
+
+// runWorker joins a ppcoord coordinator and pulls leases until the run
+// completes or a signal stops the process. On SIGTERM/SIGINT in-flight
+// apps are abandoned and reported as skipped — the coordinator requeues
+// them for the surviving workers.
+func runWorker(observer *obs.Observer, cfg workerConfig) int {
+	if cfg.name == "" {
+		host, _ := os.Hostname()
+		cfg.name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if cfg.concurrency <= 0 {
+		cfg.concurrency = runtime.GOMAXPROCS(0)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("worker %s: joining %s (%d concurrent analyses)", cfg.name, cfg.coordinator, cfg.concurrency)
+	start := time.Now()
+	ws, err := dist.RunWorker(ctx, dist.WorkerOptions{
+		Coordinator:     cfg.coordinator,
+		Name:            cfg.name,
+		Concurrency:     cfg.concurrency,
+		PerAppTimeout:   cfg.timeout,
+		MaxRetries:      cfg.retries,
+		RetryBackoff:    cfg.backoff,
+		RetryBackoffMax: cfg.backoffMax,
+		RetryJitter:     cfg.jitter,
+		Observer:        observer,
+		UseRemoteCache:  cfg.remoteCache,
+	})
+	elapsed := time.Since(start)
+	fmt.Printf("Worker: %d leased, %d folded, %d duplicates, %d report errors in %s\n",
+		ws.Leased, ws.Reported, ws.Duplicates, ws.ReportErrors, elapsed.Round(time.Millisecond))
+	if cfg.remoteCache {
+		fmt.Printf("Worker: remote analysis cache %d hits, %d failures\n", ws.RemoteHits, ws.RemoteFails)
+	}
+	if cfg.metricsDump {
+		fmt.Fprint(os.Stderr, observer.Snapshot().Render())
+	}
+	if err != nil {
+		log.Printf("worker failed: %v", err)
+		return 1
 	}
 	return 0
 }

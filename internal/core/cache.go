@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,37 @@ type AnalysisCache struct {
 	entries sync.Map // policy text -> *cacheEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+
+	// backing, when non-nil, is a remote read-through tier consulted
+	// on a local miss before computing, and written through (best
+	// effort) after a local compute. See CacheBacking.
+	backing     CacheBacking
+	remoteHits  atomic.Int64
+	remoteFails atomic.Int64
+}
+
+// CacheBacking is an optional remote tier behind an AnalysisCache —
+// in the distributed topology, a consistent-hash-sharded artifact
+// service hosted by the coordinator. Load returns the serialized
+// analysis for a policy text, or false on miss OR error: the cache
+// cannot tell the difference and does not need to, it just computes
+// locally, so a dead shard degrades throughput, never correctness.
+// Store is best-effort write-through; implementations swallow their
+// own errors. Both must be safe for concurrent use.
+//
+// The key handed to Load/Store is the raw policy text; implementations
+// are expected to content-address it (and bind any config namespace)
+// themselves. Like local sharing, a backing must only ever be shared
+// between checkers with an identical policy-analyzer configuration.
+type CacheBacking interface {
+	Load(key string) ([]byte, bool)
+	Store(key string, data []byte)
+}
+
+// NewBackedAnalysisCache builds a cache with a remote read-through
+// tier behind it.
+func NewBackedAnalysisCache(b CacheBacking) *AnalysisCache {
+	return &AnalysisCache{backing: b}
 }
 
 // cacheEntry is a single-flight latch for one policy text. It is NOT
@@ -79,8 +111,12 @@ func (c *AnalysisCache) Get(key string, compute func() *policy.Analysis) (*polic
 		}
 		// This caller computes, holding the entry lock so concurrent
 		// callers of the same key block until the result (or the
-		// abandonment) is decided — the single-flight property.
+		// abandonment) is decided — the single-flight property. With a
+		// backing configured, the remote tier is consulted first —
+		// still under the entry lock, so a whole worker fleet asking
+		// for the same cold key issues one remote read, not N.
 		completed := false
+		remote := false
 		func() {
 			defer func() {
 				if !completed {
@@ -89,14 +125,67 @@ func (c *AnalysisCache) Get(key string, compute func() *policy.Analysis) (*polic
 					e.mu.Unlock()
 				}
 			}()
-			e.analysis = compute()
+			if a, ok := c.loadRemote(key); ok {
+				e.analysis = a
+				remote = true
+			} else {
+				e.analysis = compute()
+				c.storeRemote(key, e.analysis)
+			}
 			completed = true
 		}()
 		e.done = true
 		e.mu.Unlock()
+		if remote {
+			c.hits.Add(1)
+			return e.analysis, true
+		}
 		c.misses.Add(1)
 		return e.analysis, false
 	}
+}
+
+// loadRemote asks the backing for a serialized analysis. Any failure —
+// transport, decode, no backing at all — is a miss; the caller falls
+// back to local compute, so a dead or corrupt shard degrades rather
+// than fails.
+func (c *AnalysisCache) loadRemote(key string) (*policy.Analysis, bool) {
+	if c.backing == nil {
+		return nil, false
+	}
+	data, ok := c.backing.Load(key)
+	if !ok {
+		return nil, false
+	}
+	var a policy.Analysis
+	if err := json.Unmarshal(data, &a); err != nil {
+		c.remoteFails.Add(1)
+		return nil, false
+	}
+	c.remoteHits.Add(1)
+	return &a, true
+}
+
+// storeRemote writes a locally computed analysis through to the
+// backing, best effort. A nil analysis (a policy that analyzes to
+// nothing) is not written: nil round-trips ambiguously through JSON
+// and recomputing it is free.
+func (c *AnalysisCache) storeRemote(key string, a *policy.Analysis) {
+	if c.backing == nil || a == nil {
+		return
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		c.remoteFails.Add(1)
+		return
+	}
+	c.backing.Store(key, data)
+}
+
+// BackingStats returns the remote tier's serve count and its
+// decode/encode failure count (zero without a backing).
+func (c *AnalysisCache) BackingStats() (remoteHits, remoteFails int64) {
+	return c.remoteHits.Load(), c.remoteFails.Load()
 }
 
 // Stats returns the cumulative hit and miss counts. Misses equal the

@@ -1,0 +1,145 @@
+// Package dist is the distributed analysis tier: a coordinator/worker
+// topology that scales the streaming corpus runner (internal/stream)
+// past one process toward the hundreds-of-thousands-of-versions regime
+// of the longitudinal study.
+//
+// Topology:
+//
+//	Coordinator  owns the stream.Source, the checkpoint journal and
+//	             the corpus-level stats. It serves work *leases* over
+//	             HTTP — portable stream.Specs, never closures — with a
+//	             bounded number outstanding (backpressure), reclaims
+//	             leases whose worker died mid-app (expiry +
+//	             reassignment), folds worker-reported outcomes into one
+//	             stream.Stats, and journals every completed app so a
+//	             killed coordinator resumes bit-identically, exactly
+//	             like a single-process run.
+//	Worker       a thin wrapper over the existing eval.CheckApp
+//	             pipeline: pull a lease, rebuild the item with
+//	             stream.SpecResolver, analyze on a local checker,
+//	             report the outcome. Workers hold no corpus state; a
+//	             SIGKILLed worker costs only its outstanding leases,
+//	             which expire and are re-leased to the survivors.
+//	Shards       the coordinator hosts the longi artifact store and the
+//	             shared library-policy analysis cache as consistent-
+//	             hash-sharded HTTP endpoints (/shard/<i>/artifact/...).
+//	             Workers read through them (ShardedStore + Backing); a
+//	             dead or slow shard degrades to local compute, never a
+//	             failed app.
+//
+// The correctness bar, enforced by the crash soak test: a coordinator
+// plus N workers over a seeded firehose — one worker SIGKILLed mid-run
+// — finishes with RunStats bit-identical to a single-process
+// stream.Run over the same source.
+//
+// Failure model:
+//
+//   - Worker death: outstanding leases expire after LeaseTTL and are
+//     reassigned. A lease is not a lock — a zombie worker may still
+//     report after expiry; the coordinator folds each app name at most
+//     once (first report wins) so duplicates are counted, never
+//     double-folded.
+//   - Coordinator death: the journal is the contract. Completed apps
+//     were appended before being folded; reopening the journal replays
+//     them and the new coordinator leases only the remainder.
+//   - Shard death: reads and writes degrade to misses; workers fall
+//     back to local compute. Throughput suffers, correctness does not.
+//   - Slow app: a lease that outlives its TTL is reassigned and the
+//     app may be analyzed twice; the first report to arrive is folded,
+//     the other is a counted duplicate. Size LeaseTTL well above the
+//     per-app timeout to make this rare.
+package dist
+
+import "ppchecker/internal/stream"
+
+// Wire types for the coordinator's lease protocol. Endpoints:
+//
+//	POST /lease    LeaseRequest -> 200 LeaseResponse | 204 no work yet
+//	               (retry after a short poll) | 410 run complete
+//	POST /report   ReportRequest -> 200 ReportResponse
+//	GET  /stats    StatsResponse
+//	GET  /config   ConfigResponse
+//	GET  /healthz  200 once serving
+//	*    /shard/<i>/artifact/<stage>/<key>  the hosted artifact shards
+
+// LeaseRequest asks for one unit of work.
+type LeaseRequest struct {
+	// Worker identifies the caller for lease tracking and /stats.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one item under a deadline.
+type LeaseResponse struct {
+	LeaseID string `json:"lease_id"`
+	// Name and Hash are the item's resume identity (informational:
+	// the worker recomputes both from the spec's actual content).
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+	// Spec is the portable work description stream.SpecResolver turns
+	// back into a runnable item.
+	Spec stream.Spec `json:"spec"`
+	// TTLMillis is the lease deadline; a report arriving later may
+	// find the item re-leased to another worker.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// ReportRequest delivers one finished app.
+type ReportRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	Name    string `json:"name"`
+	Hash    string `json:"hash"`
+	// Outcome is the eval.Outcome wire name. "skipped" means the
+	// worker abandoned the app (its context died): the item is
+	// requeued, not folded.
+	Outcome     string `json:"outcome"`
+	Retries     int    `json:"retries,omitempty"`
+	Partial     bool   `json:"partial,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Exhausted   bool   `json:"exhausted,omitempty"`
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	// Accepted: the outcome was folded into the run stats (and
+	// journaled). False for duplicates and skips.
+	Accepted bool `json:"accepted"`
+	// Duplicate: another worker's report for this app arrived first.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// ConfigResponse tells workers how the coordinator is laid out.
+type ConfigResponse struct {
+	// Shards is the number of hosted artifact shards; shard i lives at
+	// <coordinator>/shard/<i>. Zero means no remote cache tier.
+	Shards int `json:"shards"`
+	// LeaseTTLMillis is the coordinator's lease deadline.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// StatsResponse is the coordinator's live accounting.
+type StatsResponse struct {
+	// Done: the source is exhausted and every item is folded.
+	Done bool `json:"done"`
+	// The eval.RunStats counts folded so far.
+	Apps     int `json:"apps"`
+	Checked  int `json:"checked"`
+	Degraded int `json:"degraded"`
+	Failed   int `json:"failed"`
+	Retried  int `json:"retried"`
+	Skipped  int `json:"skipped"`
+	// Replayed/Reanalyzed mirror stream.Stats resume accounting.
+	Replayed   int `json:"replayed"`
+	Reanalyzed int `json:"reanalyzed"`
+	// Lease accounting.
+	Granted     int64 `json:"granted"`
+	Reports     int64 `json:"reports"`
+	Expired     int64 `json:"expired"`
+	Duplicates  int64 `json:"duplicates"`
+	Outstanding int   `json:"outstanding"`
+	Pending     int   `json:"pending"`
+	// OutstandingByWorker maps worker name to its live lease count
+	// (the crash soak uses it to kill a worker that provably holds
+	// work).
+	OutstandingByWorker map[string]int `json:"outstanding_by_worker,omitempty"`
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+
+	"ppchecker/internal/longi"
+	"ppchecker/internal/obs"
+)
+
+// ShardedStore fans one longi.Store address space out over shard
+// endpoints by consistent hash. It is the worker-side read-through
+// layer in front of the coordinator-hosted shards: a shard error —
+// dead endpoint, timeout, bad response — degrades to a miss on Get and
+// a silent drop on Put, so losing a shard costs recomputes, never
+// failed apps. The obs counters (dist-shard-hits / -misses / -errors)
+// make the degradation visible.
+type ShardedStore struct {
+	shards   []longi.Store
+	ring     *Ring
+	observer *obs.Observer
+}
+
+// NewShardedStore builds the sharded layer. names identify the shards
+// on the ring — they must be identical (content and order) in every
+// process that shares the shard set, or keys will map differently;
+// use the shard URLs.
+func NewShardedStore(shards []longi.Store, names []string, observer *obs.Observer) (*ShardedStore, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("dist: no shards")
+	}
+	if len(shards) != len(names) {
+		return nil, fmt.Errorf("dist: %d shards but %d names", len(shards), len(names))
+	}
+	return &ShardedStore{shards: shards, ring: NewRing(names, 0), observer: observer}, nil
+}
+
+// NewHTTPShardedStore wires a sharded store over remote shard URLs —
+// the worker-side constructor.
+func NewHTTPShardedStore(urls []string, client *http.Client, observer *obs.Observer) (*ShardedStore, error) {
+	shards := make([]longi.Store, len(urls))
+	for i, u := range urls {
+		shards[i] = longi.NewHTTPStore(u, client)
+	}
+	return NewShardedStore(shards, urls, observer)
+}
+
+// pick routes (stage, key) to its shard. The stage participates in the
+// routing key so different stages of the same content spread out.
+func (s *ShardedStore) pick(stage, key string) longi.Store {
+	return s.shards[s.ring.Pick(stage+"/"+key)]
+}
+
+// Get reads through the owning shard; errors degrade to misses.
+func (s *ShardedStore) Get(stage, key string) ([]byte, bool, error) {
+	data, hit, err := s.pick(stage, key).Get(stage, key)
+	switch {
+	case err != nil:
+		s.observer.AddCounter("dist-shard-errors", 1)
+		return nil, false, nil
+	case hit:
+		s.observer.AddCounter("dist-shard-hits", 1)
+		return data, true, nil
+	default:
+		s.observer.AddCounter("dist-shard-misses", 1)
+		return nil, false, nil
+	}
+}
+
+// Put writes through to the owning shard, best effort.
+func (s *ShardedStore) Put(stage, key string, data []byte) error {
+	if err := s.pick(stage, key).Put(stage, key, data); err != nil {
+		s.observer.AddCounter("dist-shard-errors", 1)
+	}
+	return nil
+}
+
+// libAnalysisStage is the artifact namespace for serialized library-
+// policy analyses (the remote tier behind core.AnalysisCache).
+const libAnalysisStage = "lib-analysis"
+
+// Backing adapts a longi.Store (typically a ShardedStore) into the
+// core.CacheBacking contract: policy texts are content-addressed with
+// longi.StageKey under the lib-analysis stage, bound to a namespace so
+// caches filled by differently-configured checkers can never alias.
+type Backing struct {
+	store     longi.Store
+	namespace string
+}
+
+// NewBacking builds a cache backing over a store. The namespace must
+// encode everything that changes an analysis result (checker
+// configuration); every worker sharing a shard set must use the same
+// namespace for the same configuration.
+func NewBacking(store longi.Store, namespace string) *Backing {
+	return &Backing{store: store, namespace: namespace}
+}
+
+func (b *Backing) key(text string) string {
+	return longi.StageKey(libAnalysisStage, []byte(b.namespace), []byte(text))
+}
+
+// Load fetches the serialized analysis for a policy text; any error is
+// a miss (core.AnalysisCache then computes locally).
+func (b *Backing) Load(text string) ([]byte, bool) {
+	data, hit, err := b.store.Get(libAnalysisStage, b.key(text))
+	if err != nil || !hit {
+		return nil, false
+	}
+	return data, true
+}
+
+// Store writes a computed analysis through, best effort.
+func (b *Backing) Store(text string, data []byte) {
+	_ = b.store.Put(libAnalysisStage, b.key(text), data)
+}

@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppchecker/internal/core"
+	"ppchecker/internal/esa"
+	"ppchecker/internal/eval"
+	"ppchecker/internal/obs"
+	"ppchecker/internal/stream"
+)
+
+// WorkerOptions configure one worker process (or in-process worker).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name identifies this worker in leases and /stats.
+	Name string
+	// Concurrency is how many apps to analyze at once; <= 0 means 1.
+	Concurrency int
+
+	// Per-attempt bounds, eval.RunOptions semantics.
+	PerAppTimeout   time.Duration
+	MaxRetries      int
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	RetryJitter     float64
+	// CheckerOptions configure the per-goroutine checkers. Every
+	// worker sharing a coordinator must use an equivalent
+	// configuration, or the shared remote cache would alias results.
+	CheckerOptions []core.CheckerOption
+	// Observer instruments the worker's checkers and dist counters.
+	Observer *obs.Observer
+
+	// PollInterval is the pause after a 204 (no work yet); <= 0 means
+	// 100ms.
+	PollInterval time.Duration
+	// Client is the HTTP client; nil means a 30s-timeout client.
+	Client *http.Client
+
+	// UseRemoteCache turns on the coordinator-hosted analysis-cache
+	// tier (read-through over /shard/<i>). Off, every worker computes
+	// library-policy analyses locally.
+	UseRemoteCache bool
+	// CacheNamespace scopes remote cache keys; every worker sharing a
+	// shard set must pair the same namespace with the same checker
+	// configuration. Empty means "default".
+	CacheNamespace string
+
+	// MaxApps, when > 0, stops the worker after that many accepted
+	// reports — a test hook for exercising coordinator resume.
+	MaxApps int
+	// PerAppDelay stretches each analysis (before the pipeline runs) —
+	// a test hook so a crash soak can reliably kill a worker while it
+	// holds leases.
+	PerAppDelay time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Name == "" {
+		o.Name = "worker"
+	}
+	if o.CacheNamespace == "" {
+		o.CacheNamespace = "default"
+	}
+	return o
+}
+
+// WorkerStats summarizes one worker's share of a run.
+type WorkerStats struct {
+	// Leased counts granted leases; Reported counts reports the
+	// coordinator accepted and folded.
+	Leased   int64
+	Reported int64
+	// Duplicates counts reports the coordinator rejected because
+	// another worker's copy won (this worker raced a reassignment).
+	Duplicates int64
+	// ReportErrors counts reports lost to transport errors after
+	// retries; their leases expire and the apps are reassigned.
+	ReportErrors int64
+	// RemoteHits / RemoteFails are the shared analysis-cache tier's
+	// read-through counters (zero with UseRemoteCache off).
+	RemoteHits  int64
+	RemoteFails int64
+}
+
+// RunWorker pulls leases from a coordinator until the run completes
+// (410), the lease budget MaxApps is spent, or ctx dies. It is a thin
+// distributed wrapper over eval.CheckApp: the worker holds no corpus
+// state, so killing it costs only its outstanding leases.
+func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
+	opts = opts.withDefaults()
+
+	// Discover the shard layout and build the shared-cache tier.
+	var cfg ConfigResponse
+	if err := getJSON(ctx, opts.Client, opts.Coordinator+"/config", &cfg); err != nil {
+		return WorkerStats{}, fmt.Errorf("dist: coordinator config: %w", err)
+	}
+	libCache := core.NewAnalysisCache()
+	if opts.UseRemoteCache && cfg.Shards > 0 {
+		urls := make([]string, cfg.Shards)
+		for i := range urls {
+			urls[i] = fmt.Sprintf("%s/shard/%d", opts.Coordinator, i)
+		}
+		sharded, err := NewHTTPShardedStore(urls, opts.Client, opts.Observer)
+		if err != nil {
+			return WorkerStats{}, err
+		}
+		libCache = core.NewBackedAnalysisCache(NewBacking(sharded, opts.CacheNamespace))
+	}
+
+	checkerOpts := append(append([]core.CheckerOption{}, opts.CheckerOptions...),
+		core.WithSharedAnalysisCache(libCache))
+	if opts.Observer != nil {
+		checkerOpts = append(checkerOpts, core.WithObserver(opts.Observer))
+	}
+	checkerOpts = append(checkerOpts, core.WithESAStatScope(esa.NewStatScope()))
+
+	attempt := eval.AttemptOptions{
+		Timeout:      opts.PerAppTimeout,
+		MaxRetries:   opts.MaxRetries,
+		RetryBackoff: opts.RetryBackoff,
+		BackoffMax:   opts.RetryBackoffMax,
+		Jitter:       opts.RetryJitter,
+	}
+
+	var (
+		stats    WorkerStats
+		accepted atomic.Int64
+		resolver = stream.NewSpecResolver()
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		loopErr  error
+	)
+	for g := 0; g < opts.Concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			checker := core.NewChecker(checkerOpts...)
+			if err := workerLoop(ctx, opts, checker, resolver, attempt, &stats, &accepted); err != nil {
+				errMu.Lock()
+				if loopErr == nil {
+					loopErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if opts.UseRemoteCache {
+		stats.RemoteHits, stats.RemoteFails = libCache.BackingStats()
+		opts.Observer.SetCounter("dist-cache-remote-hits", stats.RemoteHits)
+		opts.Observer.SetCounter("dist-cache-remote-fails", stats.RemoteFails)
+	}
+	return stats, loopErr
+}
+
+// workerLoop is one lease-pull goroutine.
+func workerLoop(ctx context.Context, opts WorkerOptions,
+	checker *core.Checker, resolver *stream.SpecResolver, attempt eval.AttemptOptions,
+	stats *WorkerStats, accepted *atomic.Int64) error {
+
+	netFailures := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if opts.MaxApps > 0 && accepted.Load() >= int64(opts.MaxApps) {
+			return nil
+		}
+
+		lease, status, err := requestLease(ctx, opts)
+		if err != nil {
+			// A coordinator restart or network blip: back off and
+			// retry; its journal carries the run across the gap.
+			netFailures++
+			if netFailures >= 50 {
+				return fmt.Errorf("dist: coordinator unreachable: %w", err)
+			}
+			sleepCtx(ctx, opts.PollInterval)
+			continue
+		}
+		netFailures = 0
+		switch status {
+		case http.StatusGone:
+			return nil // run complete
+		case http.StatusNoContent:
+			sleepCtx(ctx, opts.PollInterval)
+			continue
+		}
+
+		atomic.AddInt64(&stats.Leased, 1)
+		item, err := resolver.Resolve(&lease.Spec)
+		if err != nil {
+			// Unresolvable spec (e.g. the corpus dir vanished under a
+			// dir run): report failed so the run still converges
+			// instead of leasing this item forever.
+			reportOutcome(ctx, opts, stats, accepted, ReportRequest{
+				LeaseID: lease.LeaseID, Worker: opts.Name,
+				Name: lease.Name, Hash: lease.Hash,
+				Outcome: eval.OutcomeFailed.String(),
+			})
+			continue
+		}
+
+		if opts.PerAppDelay > 0 {
+			sleepCtx(ctx, opts.PerAppDelay)
+		}
+		rep, outcome, retries := eval.CheckApp(ctx, checker, item.Name, item.Run, attempt)
+		reportOutcome(ctx, opts, stats, accepted, ReportRequest{
+			LeaseID: lease.LeaseID, Worker: opts.Name,
+			// Report the locally recomputed identity, not the wire
+			// copy — the resume contract hashes what was analyzed.
+			Name:        item.Name,
+			Hash:        item.Hash,
+			Outcome:     outcome.String(),
+			Retries:     retries,
+			Partial:     rep != nil && rep.Partial,
+			Quarantined: false,
+			Exhausted:   attempt.Exhausted(outcome, rep, retries),
+		})
+	}
+}
+
+// reportOutcome delivers one report with bounded transport retries. A
+// report that cannot be delivered is dropped: the lease expires and the
+// app is reanalyzed elsewhere, which the dedup map keeps single-fold.
+func reportOutcome(ctx context.Context, opts WorkerOptions, stats *WorkerStats,
+	accepted *atomic.Int64, req ReportRequest) {
+	// Even when ctx is dying (outcome "skipped"), try to hand the
+	// lease back promptly so the coordinator requeues without waiting
+	// out the TTL.
+	rctx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	var resp ReportResponse
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		err = postJSON(rctx, opts.Client, opts.Coordinator+"/report", req, &resp)
+		if err == nil {
+			break
+		}
+		if !sleepCtx(rctx, opts.PollInterval) {
+			break
+		}
+	}
+	switch {
+	case err != nil:
+		atomic.AddInt64(&stats.ReportErrors, 1)
+	case resp.Duplicate:
+		atomic.AddInt64(&stats.Duplicates, 1)
+	case resp.Accepted:
+		atomic.AddInt64(&stats.Reported, 1)
+		accepted.Add(1)
+	}
+}
+
+// requestLease POSTs /lease. status is 200 (lease valid), 204 or 410.
+func requestLease(ctx context.Context, opts WorkerOptions) (*LeaseResponse, int, error) {
+	body, _ := json.Marshal(LeaseRequest{Worker: opts.Name})
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		opts.Coordinator+"/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(httpReq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var lease LeaseResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&lease); err != nil {
+			return nil, 0, err
+		}
+		return &lease, http.StatusOK, nil
+	case http.StatusNoContent, http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	default:
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("dist: lease: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := client.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, httpResp.Status, bytes.TrimSpace(data))
+	}
+	return json.NewDecoder(io.LimitReader(httpResp.Body, 1<<20)).Decode(resp)
+}
+
+// sleepCtx pauses for d or until ctx dies; reports whether it slept
+// the full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

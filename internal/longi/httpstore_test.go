@@ -1,0 +1,62 @@
+package longi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	backend := NewMemStore(0)
+	srv := httptest.NewServer(NewStoreHandler(backend))
+	defer srv.Close()
+	client := NewHTTPStore(srv.URL, nil)
+
+	key := strings.Repeat("ab", 16)
+	if _, hit, err := client.Get("policy", key); err != nil || hit {
+		t.Fatalf("empty store: hit=%v err=%v", hit, err)
+	}
+	want := []byte(`{"stage":"policy"}`)
+	if err := client.Put("policy", key, want); err != nil {
+		t.Fatal(err)
+	}
+	data, hit, err := client.Get("policy", key)
+	if err != nil || !hit || string(data) != string(want) {
+		t.Fatalf("get after put: %q hit=%v err=%v", data, hit, err)
+	}
+	// The artifact landed in the backing store under the same address.
+	data, hit, err = backend.Get("policy", key)
+	if err != nil || !hit || string(data) != string(want) {
+		t.Fatalf("backend: %q hit=%v err=%v", data, hit, err)
+	}
+	// A different stage is a different address space.
+	if _, hit, _ := client.Get("desc", key); hit {
+		t.Fatal("stage must namespace artifacts")
+	}
+}
+
+func TestHTTPStoreRejectsBadAddresses(t *testing.T) {
+	srv := httptest.NewServer(NewStoreHandler(NewMemStore(0)))
+	defer srv.Close()
+	client := NewHTTPStore(srv.URL, nil)
+
+	// Client-side validation refuses before any request is made.
+	if _, _, err := client.Get("Policy!", strings.Repeat("ab", 16)); err == nil {
+		t.Fatal("invalid stage accepted")
+	}
+	if err := client.Put("policy", "../../etc/passwd", nil); err == nil {
+		t.Fatal("traversal key accepted")
+	}
+}
+
+func TestHTTPStoreDeadShardIsAnError(t *testing.T) {
+	srv := httptest.NewServer(NewStoreHandler(NewMemStore(0)))
+	srv.Close() // dead on arrival
+	client := NewHTTPStore(srv.URL, nil)
+	if _, _, err := client.Get("policy", strings.Repeat("ab", 16)); err == nil {
+		t.Fatal("dead shard must surface as an error (the sharded layer degrades it to a miss)")
+	}
+	if err := client.Put("policy", strings.Repeat("ab", 16), []byte("x")); err == nil {
+		t.Fatal("dead shard put must error")
+	}
+}

@@ -311,31 +311,31 @@ func (s *Server) submit(ctx context.Context, name string, app *core.App,
 // handleCheck analyzes one app bundle.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req CheckRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	app, err := req.App()
 	if err != nil {
 		s.obs.AddCounter("serve-requests-badbundle", 1)
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		WriteError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	if !s.tryAcquire(1) {
 		s.obs.AddCounter("serve-requests-rejected", 1)
-		writeError(w, http.StatusTooManyRequests, "analysis queue is full")
+		WriteError(w, http.StatusTooManyRequests, "analysis queue is full")
 		return
 	}
 	res := <-s.submit(r.Context(), req.Name, app, nil).done
-	writeJSON(w, statusFor(res.outcome), checkResponse(&req, res))
+	WriteJSON(w, statusFor(res.outcome), checkResponse(&req, res))
 }
 
 // handleCheckBatch analyzes a list of bundles as one admission unit:
@@ -343,20 +343,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // with 429.
 func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var batch BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&batch); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(batch.Apps) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		WriteError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
 	apps := make([]*core.App, len(batch.Apps))
@@ -364,7 +364,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		app, err := batch.Apps[i].App()
 		if err != nil {
 			s.obs.AddCounter("serve-requests-badbundle", 1)
-			writeError(w, http.StatusUnprocessableEntity,
+			WriteError(w, http.StatusUnprocessableEntity,
 				fmt.Sprintf("app %d (%s): %s", i, batch.Apps[i].Name, err))
 			return
 		}
@@ -372,7 +372,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.tryAcquire(len(apps)) {
 		s.obs.AddCounter("serve-requests-rejected", 1)
-		writeError(w, http.StatusTooManyRequests,
+		WriteError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("batch of %d does not fit the analysis queue", len(apps)))
 		return
 	}
@@ -403,7 +403,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Stats.Skipped++
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleCheckHistory analyzes one app's release chain through the
@@ -414,24 +414,24 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 // artifact store.
 func (s *Server) handleCheckHistory(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.longiEng == nil {
-		writeError(w, http.StatusNotImplemented, "longitudinal analysis is not enabled (Options.Longi)")
+		WriteError(w, http.StatusNotImplemented, "longitudinal analysis is not enabled (Options.Longi)")
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req HistoryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Versions) == 0 {
-		writeError(w, http.StatusBadRequest, "empty version chain")
+		WriteError(w, http.StatusBadRequest, "empty version chain")
 		return
 	}
 	apps := make([]*core.App, len(req.Versions))
@@ -439,7 +439,7 @@ func (s *Server) handleCheckHistory(w http.ResponseWriter, r *http.Request) {
 		app, err := req.Versions[i].App()
 		if err != nil {
 			s.obs.AddCounter("serve-requests-badbundle", 1)
-			writeError(w, http.StatusUnprocessableEntity,
+			WriteError(w, http.StatusUnprocessableEntity,
 				fmt.Sprintf("version %d: %s", i+1, err))
 			return
 		}
@@ -448,7 +448,7 @@ func (s *Server) handleCheckHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.tryAcquire(len(apps)) {
 		s.obs.AddCounter("serve-requests-rejected", 1)
-		writeError(w, http.StatusTooManyRequests,
+		WriteError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("chain of %d does not fit the analysis queue", len(apps)))
 		return
 	}
@@ -493,7 +493,7 @@ func (s *Server) handleCheckHistory(w http.ResponseWriter, r *http.Request) {
 		Drift:    longi.DiffHistory(req.Name, apps, reports),
 	}
 	resp.Drift = hist.Document().Drift
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // Health evaluates the server's health state machine:
@@ -532,7 +532,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if h.State == HealthDraining {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, h)
+	WriteJSON(w, status, h)
 }
 
 // handleMetrics renders the obs exposition: the per-stage table plus
@@ -620,14 +620,3 @@ func spanError(rep *core.Report, outcome eval.Outcome) error {
 	return errors.New(outcome.String())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
-}

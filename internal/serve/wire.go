@@ -28,13 +28,42 @@ package serve
 
 import (
 	"encoding/base64"
+	"encoding/json"
 	"fmt"
+	"net/http"
 
 	"ppchecker/internal/apk"
 	"ppchecker/internal/core"
 	"ppchecker/internal/report"
 	"ppchecker/internal/stream"
 )
+
+// WriteJSON writes v as the JSON response body with the given status.
+// Shared by every HTTP tier in the system (ppserve, the distributed
+// coordinator, the artifact-store shards) so wire behavior — content
+// type, no HTML escaping — stays uniform.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the uniform JSON error body every non-2xx response
+// carries.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, errorResponse{Error: msg})
+}
+
+// DecodeJSON decodes a bounded request body into v. maxBytes <= 0
+// means 64 MiB.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes)).Decode(v)
+}
 
 // CheckRequest is one app bundle on the wire — the JSON counterpart
 // of the on-disk bundle layout (policy.html, description.txt,

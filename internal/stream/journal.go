@@ -90,6 +90,17 @@ type Replay struct {
 // fsynced in batches (every FsyncEvery records or FsyncInterval,
 // whichever comes first), bounding both the fsync rate under load and
 // the work lost to a crash. Safe for concurrent use.
+//
+// Degraded-durability semantics: a failed Append does not stop the
+// run. Workers keep completing apps, but any app whose record could
+// not be written is absent from the log, so a crash after the first
+// failed append re-analyzes those apps on resume instead of replaying
+// them — the resume contract weakens from "nothing completed is lost"
+// to "nothing completed is double-counted". Callers must surface the
+// failure immediately (stream.Run publishes the stream-journal-errors
+// counter and Stats.JournalErrors) rather than deferring it to the end
+// of the run, because the window of unjournaled completions starts at
+// the first failure, not at Run's return.
 type Journal struct {
 	mu       sync.Mutex
 	f        *os.File

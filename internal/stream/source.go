@@ -2,11 +2,15 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"sync"
 
+	"ppchecker/internal/apk"
 	"ppchecker/internal/bundle"
 	"ppchecker/internal/core"
 	"ppchecker/internal/synth"
@@ -15,11 +19,78 @@ import (
 // Item is one unit of ingestion work: a stable app name, the content
 // hash of its inputs (the resume identity — an app is skipped on
 // resume only if both name and hash match its journal record), and the
-// closure that produces its report on a worker's checker.
+// closure that produces its report on a worker's checker. Spec, when
+// non-nil, is the item's portable description: everything another
+// process needs to rebuild the same Run closure (the distributed tier
+// leases Specs over the wire; in-memory sources leave it nil and stay
+// single-process).
 type Item struct {
 	Name string
 	Hash string
+	Spec *Spec
 	Run  func(ctx context.Context, checker *core.Checker) (*core.Report, error)
+}
+
+// Spec kinds.
+const (
+	// SpecDir is an on-disk bundle directory (shared-filesystem lease).
+	SpecDir = "dir"
+	// SpecFirehose is a synthetic firehose app, a pure function of
+	// (seed, index).
+	SpecFirehose = "firehose"
+)
+
+// Spec is the wire-portable identity of one work item. A coordinator
+// ships Specs to workers instead of Run closures; a worker turns a
+// Spec back into an Item with SpecResolver.Resolve and analyzes it
+// with its own checker.
+type Spec struct {
+	Kind string `json:"kind"`
+	// Dir fields (Kind == SpecDir): the bundle directory and the
+	// corpus's shared library-policy directory. Both sides must see the
+	// same filesystem.
+	Dir     string `json:"dir,omitempty"`
+	LibsDir string `json:"libs_dir,omitempty"`
+	// Firehose fields (Kind == SpecFirehose).
+	Seed  int64 `json:"seed,omitempty"`
+	Index int64 `json:"index,omitempty"`
+}
+
+// SpecResolver rebuilds Items from Specs. It caches one firehose
+// generator per seed (building a generator walks the library registry,
+// too heavy to repeat per lease). Safe for concurrent use.
+type SpecResolver struct {
+	mu        sync.Mutex
+	firehoses map[int64]*synth.Firehose
+}
+
+// NewSpecResolver builds an empty resolver.
+func NewSpecResolver() *SpecResolver {
+	return &SpecResolver{firehoses: map[int64]*synth.Firehose{}}
+}
+
+// Resolve turns a portable Spec back into a runnable Item. The
+// returned item's Name and Hash are recomputed locally from the spec's
+// actual content, so a worker never has to trust the wire copy.
+func (r *SpecResolver) Resolve(spec *Spec) (*Item, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("stream: nil work spec")
+	}
+	switch spec.Kind {
+	case SpecDir:
+		return dirItem(spec.Dir, spec.LibsDir), nil
+	case SpecFirehose:
+		r.mu.Lock()
+		fh, ok := r.firehoses[spec.Seed]
+		if !ok {
+			fh = synth.NewFirehose(spec.Seed)
+			r.firehoses[spec.Seed] = fh
+		}
+		r.mu.Unlock()
+		return firehoseItem(fh, spec.Index)
+	default:
+		return nil, fmt.Errorf("stream: unknown work spec kind %q", spec.Kind)
+	}
 }
 
 // Source produces items one at a time. Next returns io.EOF when the
@@ -65,10 +136,17 @@ func (s *DirSource) Next(ctx context.Context) (*Item, error) {
 	}
 	dir := s.dirs[s.next]
 	s.next++
-	libsDir := s.libsDir
+	return dirItem(dir, s.libsDir), nil
+}
+
+// dirItem builds the item for one on-disk bundle directory — the
+// single construction shared by the local walk and spec resolution, so
+// a leased bundle analyzes exactly as a walked one.
+func dirItem(dir, libsDir string) *Item {
 	return &Item{
 		Name: filepath.Base(dir),
 		Hash: hashBundleDir(dir),
+		Spec: &Spec{Kind: SpecDir, Dir: dir, LibsDir: libsDir},
 		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
 			app, ferrs := bundle.ReadAppLenient(dir, libsDir)
 			rep, err := checker.CheckSafe(ctx, app)
@@ -83,7 +161,7 @@ func (s *DirSource) Next(ctx context.Context) (*Item, error) {
 			}
 			return rep, err
 		},
-	}, nil
+	}
 }
 
 // hashBundleDir hashes the raw bytes of the bundle's files. Unreadable
@@ -111,7 +189,9 @@ type DatasetSource struct {
 // NewDatasetSource wraps a generated dataset.
 func NewDatasetSource(ds *synth.Dataset) *DatasetSource { return &DatasetSource{ds: ds} }
 
-// Next emits the next generated app.
+// Next emits the next generated app. The item's hash is HashApp over
+// every analysis input, so a resumed run re-analyzes an app whose code
+// or permissions changed even when its policy and description did not.
 func (s *DatasetSource) Next(ctx context.Context) (*Item, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -123,11 +203,44 @@ func (s *DatasetSource) Next(ctx context.Context) (*Item, error) {
 	s.next++
 	return &Item{
 		Name: app.Name,
-		Hash: HashBytes([]byte(app.PolicyHTML), []byte(app.Description), []byte(app.Name)),
+		Hash: HashApp(app),
 		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
 			return checker.CheckSafe(ctx, app)
 		},
 	}, nil
+}
+
+// HashApp is the resume identity of an in-memory app: like
+// hashBundleDir it covers all four input sections — policy,
+// description, APK (manifest permissions, components and bytecode) and
+// library policies — so mutating any analysis input invalidates a
+// journal checkpoint. An unencodable APK hashes as an empty section,
+// mirroring hashBundleDir's treatment of an unreadable file: the
+// analysis will degrade it, and the hash still changes if it later
+// becomes encodable.
+func HashApp(app *core.App) string {
+	var apkBytes []byte
+	if app.APK != nil {
+		if data, err := apk.Encode(app.APK); err == nil {
+			apkBytes = data
+		}
+	}
+	var libs []byte
+	if len(app.LibPolicies) > 0 {
+		names := make([]string, 0, len(app.LibPolicies))
+		for name := range app.LibPolicies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			// Length-prefix name and text so shifting bytes between
+			// adjacent fields cannot collide.
+			libs = append(libs, []byte(strconv.Itoa(len(name))+":"+name)...)
+			text := app.LibPolicies[name]
+			libs = append(libs, []byte(strconv.Itoa(len(text))+":"+text)...)
+		}
+	}
+	return HashBytes([]byte(app.PolicyHTML), []byte(app.Description), apkBytes, libs)
 }
 
 // FirehoseSource streams the synthetic Play-store firehose: apps are
@@ -161,7 +274,14 @@ func (s *FirehoseSource) Next(ctx context.Context) (*Item, error) {
 	}
 	i := s.next
 	s.next++
-	ga, err := s.fh.App(i)
+	return firehoseItem(s.fh, i)
+}
+
+// firehoseItem builds the item for firehose app i — shared by the
+// local source and spec resolution, so a leased firehose app has the
+// same identity and content in every process.
+func firehoseItem(fh *synth.Firehose, i int64) (*Item, error) {
+	ga, err := fh.App(i)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +291,8 @@ func (s *FirehoseSource) Next(ctx context.Context) (*Item, error) {
 		// The app's content is a pure function of (seed, index); the
 		// hash binds both so a journal from a different seed never
 		// satisfies a resume.
-		Hash: HashBytes([]byte(strconv.FormatInt(s.fh.Seed(), 10)), []byte(strconv.FormatInt(i, 10))),
+		Hash: HashBytes([]byte(strconv.FormatInt(fh.Seed(), 10)), []byte(strconv.FormatInt(i, 10))),
+		Spec: &Spec{Kind: SpecFirehose, Seed: fh.Seed(), Index: i},
 		Run: func(ctx context.Context, checker *core.Checker) (*core.Report, error) {
 			return checker.CheckSafe(ctx, app)
 		},

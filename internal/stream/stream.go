@@ -106,6 +106,12 @@ type Stats struct {
 	// counts (including any prior run that produced the replay).
 	JournalRecords int64
 	JournalFsyncs  int64
+	// JournalErrors counts failed journal appends. Any non-zero value
+	// means completed apps may be missing from the checkpoint log and a
+	// resume will re-analyze them — degraded durability, surfaced both
+	// here and on the stream-journal-errors counter the moment each
+	// failure happens.
+	JournalErrors int
 	// Drained reports the run ended by graceful drain, not source
 	// exhaustion.
 	Drained bool
@@ -216,6 +222,20 @@ func Run(ctx context.Context, src Source, opts Options) (Stats, error) {
 					mu.Unlock()
 				}
 			}
+			// Count the item as queued before handing it over: a worker
+			// may receive and decrement the instant the send lands, so
+			// incrementing after the send would let queued go transiently
+			// negative and shave the true peak off QueueHighWater. The
+			// abort paths below undo the increment for an item that was
+			// never delivered.
+			mu.Lock()
+			queued++
+			if queued > highWater {
+				highWater = queued
+			}
+			hw := highWater
+			mu.Unlock()
+			opts.Observer.MaxCounter("stream-queue-high-water", int64(hw))
 			// Try the fast path first so genuine stalls — a full queue —
 			// are counted, then block until there is room (that blocking
 			// is the backpressure contract: an endless firehose cannot
@@ -234,21 +254,17 @@ func Run(ctx context.Context, src Source, opts Options) (Stats, error) {
 				case queue <- item:
 				case <-drainCh(opts.Drain):
 					mu.Lock()
+					queued--
 					stats.Drained = true
 					mu.Unlock()
 					return
 				case <-ctx.Done():
+					mu.Lock()
+					queued--
+					mu.Unlock()
 					return
 				}
 			}
-			mu.Lock()
-			queued++
-			if queued > highWater {
-				highWater = queued
-			}
-			hw := highWater
-			mu.Unlock()
-			opts.Observer.MaxCounter("stream-queue-high-water", int64(hw))
 		}
 	}()
 
@@ -300,7 +316,16 @@ func Run(ctx context.Context, src Source, opts Options) (Stats, error) {
 						Quarantined: quarantined,
 					})
 					if err != nil {
+						// Surface the durability loss the moment it
+						// happens: the run keeps completing apps, but from
+						// this record on they may not be checkpointed, so
+						// the resume contract is degraded (see the Journal
+						// doc comment). The counter makes that visible to
+						// a live metrics scrape instead of only at Run's
+						// return.
+						opts.Observer.AddCounter("stream-journal-errors", 1)
 						mu.Lock()
+						stats.JournalErrors++
 						if journalErr == nil {
 							journalErr = err
 						}

@@ -2,9 +2,11 @@
 # deflake_stress.sh — hammer the timing-sensitive test surfaces under
 # the race detector to prove the synchronization fixes hold: the
 # stream backpressure/soak/journal tests, the serve admission/drain
-# tests, and the concurrency hammers for frozen-graph reads and pooled
-# per-app arena reuse run COUNT times each (50 by default, override
-# with COUNT=n or $1). Any single failure fails the script.
+# tests, the concurrency hammers for frozen-graph reads and pooled
+# per-app arena reuse, and the distributed-tier lease/expiry tests run
+# COUNT times each (50 by default, override with COUNT=n or $1); the
+# multi-process dist SIGKILL soak runs COUNT/10 times. Any single
+# failure fails the script.
 #
 #   scripts/deflake_stress.sh          # 50 iterations
 #   COUNT=200 scripts/deflake_stress.sh
@@ -24,5 +26,15 @@ go test ./internal/serve/ -race -count="${COUNT}" -short \
 
 go test ./internal/graphdb/ ./internal/core/ -race -count="${COUNT}" \
     -run 'TestFrozenConcurrentReads|TestCheckSafeConcurrentArenaReuse'
+
+# The distributed tier's timing-sensitive surfaces: lease expiry +
+# reassignment + duplicate rejection, and the multi-process SIGKILL
+# soak (spawns child worker processes, so it gets a smaller count).
+go test ./internal/dist/ -race -count="${COUNT}" \
+    -run 'TestLeaseExpiryReassignsAndDeduplicates|TestCoordinatorBitIdenticalToStreamRun'
+DIST_SOAK_COUNT=$(( COUNT / 10 ))
+[ "${DIST_SOAK_COUNT}" -lt 1 ] && DIST_SOAK_COUNT=1
+go test ./internal/dist/ -race -count="${DIST_SOAK_COUNT}" \
+    -run 'TestDistCrashSoakBitIdentical'
 
 echo "deflake stress: all ${COUNT} iterations passed"
