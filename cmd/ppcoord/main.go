@@ -4,8 +4,10 @@
 // worker-mode ppstream processes.
 //
 //	ppcoord -addr :8080 -firehose -seed 7 -apps 5000 -journal run.journal
-//	ppcoord -addr :8080 -dir corpus/ -shards 4
-//	ppstream -worker http://coordinator:8080 -workers 4   (on each box)
+//	ppcoord -addr :8080 -dir corpus/ -shards 4 -shard-dir /var/cache/pp
+//	ppcoord -addr :8081 -firehose -seed 7 -apps 5000 -journal run.journal \
+//	        -standby -primary http://coordinator:8080
+//	ppstream -worker http://coordinator:8080,http://standby:8081 -workers 4
 //
 // The coordinator grants each app to exactly one worker at a time
 // under a lease; a worker that dies mid-app simply stops renewing —
@@ -14,9 +16,19 @@
 // coordinator re-invoked with the same -journal resumes bit-identically,
 // exactly like a single-process ppstream run.
 //
-// -shards N hosts N in-memory artifact shards at /shard/<i>; workers
-// read the shared library-policy analysis cache through them, so a
-// policy analyzed by one worker is free for every other.
+// -shards N hosts N artifact shards at /shard/<i>; workers read the
+// shared library-policy and ESA-interpret caches through them, so a
+// policy analyzed by one worker is free for every other. By default
+// the shards live in memory; -shard-dir roots them on disk
+// (longi.DirStore, temp+rename crash-safe), so a restarted or promoted
+// coordinator keeps the warm caches.
+//
+// -standby runs the process as a failover follower over the shared
+// -journal: it tails the journal, answers work endpoints with 503, and
+// promotes itself to a full coordinator on POST /promote — or
+// automatically when -primary is set and its /healthz stops answering.
+// The source flags (-dir/-firehose/-seed/-apps) must match the
+// primary's exactly; the journal replay decides what is left to lease.
 //
 // Exit codes: 0 clean, 1 on a run failure, 2 on a usage error.
 package main
@@ -31,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -57,9 +70,15 @@ func run() int {
 		journalPath = flag.String("journal", "", "durable checkpoint journal (reuse to resume a killed run)")
 		fsyncEvery  = flag.Int("fsync-every", 0, "journal records per fsync batch (0 = 32)")
 
-		leaseTTL       = flag.Duration("lease-ttl", 30*time.Second, "lease deadline before an app is reassigned (size well above the workers' per-app timeout)")
+		leaseTTL       = flag.Duration("lease-ttl", 30*time.Second, "lease deadline before an app is reassigned (with renewing workers this bounds failure detection, not per-app latency)")
 		maxOutstanding = flag.Int("max-outstanding", 64, "max concurrently leased apps (backpressure on the source)")
-		shards         = flag.Int("shards", 2, "in-memory artifact shards hosted for the shared analysis cache (0 disables)")
+		shards         = flag.Int("shards", 2, "artifact shards hosted for the shared analysis caches (0 disables)")
+		shardDir       = flag.String("shard-dir", "", "root the shards on disk (longi.DirStore) instead of memory, so restarts and failovers keep warm caches")
+
+		standby       = flag.Bool("standby", false, "run as a failover follower: tail -journal, serve 503 until promoted (POST /promote or -primary death)")
+		primary       = flag.String("primary", "", "standby: probe this coordinator URL and self-promote when it stops answering")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "standby: primary health-probe interval")
+		probeFailures = flag.Int("probe-failures", 3, "standby: consecutive probe failures that trigger self-promotion")
 
 		metricsDump = flag.Bool("metrics", false, "print the final metrics snapshot to stderr")
 		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "keep serving 'run complete' this long after finishing, so polling workers exit cleanly instead of hitting a closed port")
@@ -73,80 +92,147 @@ func run() int {
 
 	observer := obs.New()
 
-	var src stream.Source
+	// newSource builds the corpus source from the flags. The standby
+	// path defers construction to promotion time, so sources that hold
+	// position state (DirSource) always start fresh.
 	var sourceName string
-	if *dir != "" {
-		ds, err := stream.NewDirSource(*dir)
-		if err != nil {
-			log.Print(err)
-			return 1
+	newSource := func() (stream.Source, error) {
+		if *dir != "" {
+			return stream.NewDirSource(*dir)
 		}
-		src, sourceName = ds, "dir:"+*dir
-		log.Printf("serving %d app bundles from %s", ds.Len(), *dir)
-	} else {
-		src = stream.NewFirehoseSource(*seed, *apps)
-		sourceName = fmt.Sprintf("firehose:%d", *seed)
-		capDesc := "endless"
-		if *apps > 0 {
-			capDesc = fmt.Sprintf("%d apps", *apps)
-		}
-		log.Printf("serving the synthetic firehose (seed %d, %s)", *seed, capDesc)
+		return stream.NewFirehoseSource(*seed, *apps), nil
 	}
-
-	var journal *stream.Journal
-	var replay *stream.Replay
-	if *journalPath != "" {
-		var err error
-		journal, replay, err = stream.OpenJournal(*journalPath, sourceName,
-			stream.JournalOptions{FsyncEvery: *fsyncEvery, Observer: observer})
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		defer journal.Close()
-		if replay.Records > 0 {
-			log.Printf("resuming: %d checkpointed apps recovered from %s (torn tail: %v)",
-				replay.Records, *journalPath, replay.Truncated)
-		}
+	if *dir != "" {
+		sourceName = "dir:" + *dir
+	} else {
+		sourceName = fmt.Sprintf("firehose:%d", *seed)
 	}
 
 	stores := make([]longi.Store, *shards)
 	for i := range stores {
-		stores[i] = longi.NewMemStore(0)
+		if *shardDir != "" {
+			ds, err := longi.NewDirStore(filepath.Join(*shardDir, fmt.Sprintf("shard-%d", i)))
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			stores[i] = ds
+		} else {
+			stores[i] = longi.NewMemStore(0)
+		}
 	}
-
-	c := dist.NewCoordinator(dist.CoordinatorOptions{
-		Source:         src,
-		Journal:        journal,
-		Replay:         replay,
+	coordOpts := dist.CoordinatorOptions{
 		MaxOutstanding: *maxOutstanding,
 		LeaseTTL:       *leaseTTL,
 		Observer:       observer,
 		Shards:         stores,
-	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Print(err)
-		return 1
 	}
-	srv := &http.Server{Handler: c.Handler()}
-	go func() {
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
-		}
-	}()
-	defer srv.Close()
-	log.Printf("coordinating on %s (lease TTL %s, %d shards, max %d outstanding)",
-		ln.Addr(), *leaseTTL, *shards, *maxOutstanding)
 
 	// SIGTERM/SIGINT stops waiting; in-memory progress is abandoned but
 	// everything folded so far is already in the journal.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var handler http.Handler
+	var wait func(context.Context) (stream.Stats, error)
+	var snapshot func() dist.StatsResponse
+
+	if *standby {
+		if *journalPath == "" {
+			fmt.Fprintln(os.Stderr, "ppcoord: -standby requires -journal (the primary's journal to tail)")
+			flag.Usage()
+			return 2
+		}
+		s, err := dist.NewStandby(dist.StandbyOptions{
+			JournalPath:   *journalPath,
+			SourceName:    sourceName,
+			JournalOpts:   stream.JournalOptions{FsyncEvery: *fsyncEvery, Observer: observer},
+			NewSource:     func() stream.Source { src, _ := newSource(); return src },
+			Coordinator:   coordOpts,
+			PrimaryURL:    *primary,
+			ProbeInterval: *probeInterval,
+			ProbeFailures: *probeFailures,
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer s.Stop()
+		handler = s.Handler()
+		wait = s.Wait
+		snapshot = func() dist.StatsResponse {
+			if c := s.Coordinator(); c != nil {
+				return c.StatsSnapshot()
+			}
+			return dist.StatsResponse{}
+		}
+		if *primary != "" {
+			log.Printf("standby: tailing %s, probing %s every %s (%d failures promote)",
+				*journalPath, *primary, *probeInterval, *probeFailures)
+		} else {
+			log.Printf("standby: tailing %s, waiting for POST /promote", *journalPath)
+		}
+	} else {
+		src, err := newSource()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if ds, ok := src.(*stream.DirSource); ok {
+			log.Printf("serving %d app bundles from %s", ds.Len(), *dir)
+		} else {
+			capDesc := "endless"
+			if *apps > 0 {
+				capDesc = fmt.Sprintf("%d apps", *apps)
+			}
+			log.Printf("serving the synthetic firehose (seed %d, %s)", *seed, capDesc)
+		}
+
+		var journal *stream.Journal
+		var replay *stream.Replay
+		if *journalPath != "" {
+			journal, replay, err = stream.OpenJournal(*journalPath, sourceName,
+				stream.JournalOptions{FsyncEvery: *fsyncEvery, Observer: observer})
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			defer journal.Close()
+			if replay.Records > 0 {
+				log.Printf("resuming: %d checkpointed apps recovered from %s (torn tail: %v)",
+					replay.Records, *journalPath, replay.Truncated)
+			}
+		}
+		coordOpts.Source = src
+		coordOpts.Journal = journal
+		coordOpts.Replay = replay
+		c := dist.NewCoordinator(coordOpts)
+		handler = c.Handler()
+		wait = c.Wait
+		snapshot = c.StatsSnapshot
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	srv := &http.Server{Handler: handler}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	defer srv.Close()
+	shardKind := "in-memory"
+	if *shardDir != "" {
+		shardKind = "durable (" + *shardDir + ")"
+	}
+	log.Printf("coordinating on %s (lease TTL %s, %d %s shards, max %d outstanding)",
+		ln.Addr(), *leaseTTL, *shards, shardKind, *maxOutstanding)
+
 	start := time.Now()
-	stats, err := c.Wait(ctx)
+	stats, err := wait(ctx)
 	elapsed := time.Since(start)
 	if err != nil {
 		log.Printf("run failed: %v", err)
@@ -157,13 +243,13 @@ func run() int {
 		return 1
 	}
 
-	snap := c.StatsSnapshot()
+	snap := snapshot()
 	fmt.Println(stats.Render())
 	fmt.Printf("Coordinator: %d analyzed this run in %s, %d replayed from journal, %d re-analyzed\n",
 		stats.Apps-stats.Replayed, elapsed.Round(time.Millisecond), stats.Replayed, stats.Reanalyzed)
-	fmt.Printf("Coordinator: %d leases granted, %d expired (reassigned), %d duplicate reports\n",
-		snap.Granted, snap.Expired, snap.Duplicates)
-	if journal != nil {
+	fmt.Printf("Coordinator: %d leases granted, %d renewed, %d expired (reassigned), %d duplicate reports\n",
+		snap.Granted, snap.Renewals, snap.Expired, snap.Duplicates)
+	if *journalPath != "" {
 		fmt.Printf("Journal: %d records, %d fsyncs, %d append errors\n",
 			stats.JournalRecords, stats.JournalFsyncs, stats.JournalErrors)
 		if stats.JournalErrors > 0 {

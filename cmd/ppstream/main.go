@@ -41,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -86,9 +87,10 @@ func run() int {
 		metricsDump = flag.Bool("metrics", false, "print the final metrics snapshot to stderr")
 		trace       = flag.String("trace", "", "write a JSONL span trace to this file")
 
-		worker      = flag.String("worker", "", "worker mode: pull leases from this ppcoord coordinator URL")
+		worker      = flag.String("worker", "", "worker mode: pull leases from these comma-separated ppcoord URLs (primary first, standbys after)")
 		workerName  = flag.String("worker-name", "", "worker mode: name reported in leases (default host:pid)")
-		remoteCache = flag.Bool("remote-cache", true, "worker mode: read through the coordinator-hosted analysis cache")
+		remoteCache = flag.Bool("remote-cache", true, "worker mode: read through the coordinator-hosted analysis caches")
+		renew       = flag.Bool("renew", true, "worker mode: heartbeat held leases every TTL/3 so slow apps survive short lease TTLs")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -121,16 +123,17 @@ func run() int {
 
 	if *worker != "" {
 		return runWorker(observer, workerConfig{
-			coordinator: *worker,
-			name:        *workerName,
-			concurrency: *workers,
-			timeout:     *timeout,
-			retries:     *retries,
-			backoff:     *backoff,
-			backoffMax:  *backoffMax,
-			jitter:      *jitter,
-			remoteCache: *remoteCache,
-			metricsDump: *metricsDump,
+			coordinators: strings.Split(*worker, ","),
+			name:         *workerName,
+			concurrency:  *workers,
+			timeout:      *timeout,
+			retries:      *retries,
+			backoff:      *backoff,
+			backoffMax:   *backoffMax,
+			jitter:       *jitter,
+			remoteCache:  *remoteCache,
+			renew:        *renew,
+			metricsDump:  *metricsDump,
 		})
 	}
 
@@ -268,16 +271,17 @@ func run() int {
 
 // workerConfig carries the worker-mode flag subset.
 type workerConfig struct {
-	coordinator string
-	name        string
-	concurrency int
-	timeout     time.Duration
-	retries     int
-	backoff     time.Duration
-	backoffMax  time.Duration
-	jitter      float64
-	remoteCache bool
-	metricsDump bool
+	coordinators []string
+	name         string
+	concurrency  int
+	timeout      time.Duration
+	retries      int
+	backoff      time.Duration
+	backoffMax   time.Duration
+	jitter       float64
+	remoteCache  bool
+	renew        bool
+	metricsDump  bool
 }
 
 // runWorker joins a ppcoord coordinator and pulls leases until the run
@@ -295,12 +299,15 @@ func runWorker(observer *obs.Observer, cfg workerConfig) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("worker %s: joining %s (%d concurrent analyses)", cfg.name, cfg.coordinator, cfg.concurrency)
+	log.Printf("worker %s: joining %s (%d concurrent analyses, renew=%v)",
+		cfg.name, strings.Join(cfg.coordinators, ","), cfg.concurrency, cfg.renew)
 	start := time.Now()
 	ws, err := dist.RunWorker(ctx, dist.WorkerOptions{
-		Coordinator:     cfg.coordinator,
+		Coordinator:     cfg.coordinators[0],
+		Coordinators:    cfg.coordinators,
 		Name:            cfg.name,
 		Concurrency:     cfg.concurrency,
+		RenewLeases:     cfg.renew,
 		PerAppTimeout:   cfg.timeout,
 		MaxRetries:      cfg.retries,
 		RetryBackoff:    cfg.backoff,
@@ -312,6 +319,9 @@ func runWorker(observer *obs.Observer, cfg workerConfig) int {
 	elapsed := time.Since(start)
 	fmt.Printf("Worker: %d leased, %d folded, %d duplicates, %d report errors in %s\n",
 		ws.Leased, ws.Reported, ws.Duplicates, ws.ReportErrors, elapsed.Round(time.Millisecond))
+	if cfg.renew {
+		fmt.Printf("Worker: %d lease renewals, %d leases lost mid-app\n", ws.Renewals, ws.RenewalsLost)
+	}
 	if cfg.remoteCache {
 		fmt.Printf("Worker: remote analysis cache %d hits, %d failures\n", ws.RemoteHits, ws.RemoteFails)
 	}

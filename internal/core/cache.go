@@ -211,4 +211,6 @@ func RecordESACacheCounters(o *obs.Observer, d esa.CacheStats) {
 	o.AddCounter("esa-interpret-evictions", d.Evictions)
 	o.AddCounter("esa-vec-pool-gets", d.PoolGets)
 	o.AddCounter("esa-vec-pool-allocs", d.PoolNews)
+	o.AddCounter("esa-remote-hits", d.RemoteHits)
+	o.AddCounter("esa-remote-fails", d.RemoteFails)
 }

@@ -84,6 +84,8 @@ type Coordinator struct {
 	reports     int64
 	expired     int64
 	duplicates  int64
+	renewals    int64
+	renewDenied int64
 	srcDone     bool
 	srcErr      error
 	journalErr  error
@@ -172,14 +174,21 @@ func (c *Coordinator) takeLocked() *workItem {
 	return nil
 }
 
-// sweepLocked reclaims expired leases into the pending queue.
+// sweepLocked reclaims expired leases into the pending queue. An
+// expired copy of an already-folded app is dropped, not requeued:
+// requeueing it would breed a fresh lease for work that is done, and
+// when every analysis outlives the TTL (a renewal outage) that cycle
+// — expire, requeue, re-lease, expire — never drains and the run
+// cannot finish.
 func (c *Coordinator) sweepLocked(now time.Time) {
 	for id, l := range c.outstanding {
 		if now.After(l.deadline) {
 			delete(c.outstanding, id)
-			c.pending = append(c.pending, l.item)
 			c.expired++
 			c.opts.Observer.AddCounter("dist-leases-expired", 1)
+			if !c.done[l.item.name] {
+				c.pending = append(c.pending, l.item)
+			}
 		}
 	}
 }
@@ -206,13 +215,52 @@ func (c *Coordinator) maybeFinishLocked() {
 	}
 }
 
+// renewInterval is how often a renewing worker heartbeats a held
+// lease: a third of the TTL, so a lease survives two lost renewals
+// before expiring.
+func renewInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 3
+	if iv <= 0 {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+// Expiry-sweep clock bounds. The floor keeps a tiny-TTL test (30ms
+// leases) from spinning the sweep goroutine hot; the cap keeps expiry
+// latency bounded even under multi-minute TTLs.
+const (
+	minExpiryTick = 25 * time.Millisecond
+	maxExpiryTick = time.Second
+)
+
+// expiryTick derives the Wait sweep period from the renewal interval
+// (TTL/3), clamped to [minExpiryTick, maxExpiryTick]. Sweeping at the
+// renewal cadence means an expired lease is reclaimed at most one
+// missed-renewal window late, without tying the sweep clock to the
+// TTL's absolute size.
+func expiryTick(ttl time.Duration) time.Duration {
+	tick := renewInterval(ttl)
+	if tick < minExpiryTick {
+		tick = minExpiryTick
+	}
+	if tick > maxExpiryTick {
+		tick = maxExpiryTick
+	}
+	return tick
+}
+
 // Handler returns the coordinator's HTTP surface.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/renew", c.handleRenew)
 	mux.HandleFunc("/report", c.handleReport)
 	mux.HandleFunc("/stats", c.handleStats)
 	mux.HandleFunc("/config", c.handleConfig)
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, StatusResponse{Role: "primary"})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		serve.WriteJSON(w, http.StatusOK, map[string]string{"state": "ok"})
 	})
@@ -273,6 +321,45 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		Name:      item.name,
 		Hash:      item.hash,
 		Spec:      item.spec,
+		TTLMillis: c.opts.LeaseTTL.Milliseconds(),
+	})
+}
+
+// handleRenew extends a live lease's deadline by a full TTL. The sweep
+// runs first so a renewal arriving after the deadline cannot revive an
+// already-expired lease — by then the item may be reassigned, and two
+// live copies of one lease ID would break the reclaim accounting.
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RenewRequest
+	if err := serve.DecodeJSON(w, r, 1<<20, &req); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	now := time.Now()
+
+	c.mu.Lock()
+	c.sweepLocked(now)
+	l, ok := c.outstanding[req.LeaseID]
+	if ok {
+		l.deadline = now.Add(c.opts.LeaseTTL)
+		c.renewals++
+	} else {
+		c.renewDenied++
+	}
+	c.mu.Unlock()
+
+	if !ok {
+		c.opts.Observer.AddCounter("dist-renewals-denied", 1)
+		serve.WriteJSON(w, http.StatusOK, RenewResponse{OK: false})
+		return
+	}
+	c.opts.Observer.AddCounter("dist-lease-renewals", 1)
+	serve.WriteJSON(w, http.StatusOK, RenewResponse{
+		OK:        true,
 		TTLMillis: c.opts.LeaseTTL.Milliseconds(),
 	})
 }
@@ -420,6 +507,8 @@ func (c *Coordinator) StatsSnapshot() StatsResponse {
 		Reports:             c.reports,
 		Expired:             c.expired,
 		Duplicates:          c.duplicates,
+		Renewals:            c.renewals,
+		RenewalsDenied:      c.renewDenied,
 		Outstanding:         len(c.outstanding),
 		Pending:             len(c.pending),
 		OutstandingByWorker: byWorker,
@@ -433,7 +522,7 @@ func (c *Coordinator) StatsSnapshot() StatsResponse {
 func (c *Coordinator) Wait(ctx context.Context) (stream.Stats, error) {
 	// Leases can expire while every worker is gone; sweep on a clock
 	// so Wait converges even with no lease traffic to trigger sweeps.
-	tick := time.NewTicker(c.opts.LeaseTTL / 2)
+	tick := time.NewTicker(expiryTick(c.opts.LeaseTTL))
 	defer tick.Stop()
 	for {
 		select {

@@ -27,10 +27,11 @@
 //	             dead or slow shard degrades to local compute, never a
 //	             failed app.
 //
-// The correctness bar, enforced by the crash soak test: a coordinator
-// plus N workers over a seeded firehose — one worker SIGKILLed mid-run
-// — finishes with RunStats bit-identical to a single-process
-// stream.Run over the same source.
+// The correctness bar, enforced by the crash soak and the chaos suite:
+// a coordinator plus N workers over a seeded firehose — workers
+// SIGKILLed or SIGSTOPped, renewals dropped, the coordinator itself
+// killed and a standby promoted mid-run — finishes with RunStats
+// bit-identical to a single-process stream.Run over the same source.
 //
 // Failure model:
 //
@@ -39,15 +40,26 @@
 //     report after expiry; the coordinator folds each app name at most
 //     once (first report wins) so duplicates are counted, never
 //     double-folded.
+//   - Slow app: with renewal on (WorkerOptions.RenewLeases), a worker
+//     heartbeats each held lease every TTL/3 via POST /renew, so a
+//     lease only expires after the worker goes silent for a full TTL —
+//     LeaseTTL bounds failure detection, not per-app latency. With
+//     renewal off, a lease that outlives its TTL is reassigned and the
+//     app may be analyzed twice; the first report to arrive is folded,
+//     the other is a counted duplicate.
 //   - Coordinator death: the journal is the contract. Completed apps
 //     were appended before being folded; reopening the journal replays
-//     them and the new coordinator leases only the remainder.
+//     them and the new coordinator leases only the remainder. A
+//     Standby tails the same journal in follower mode and, on
+//     promotion (POST /promote, or automatically when its primary
+//     probe fails), reopens it authoritatively and resumes serving
+//     leases; workers carry an address list and rotate to the standby
+//     on transport errors or not-primary responses.
 //   - Shard death: reads and writes degrade to misses; workers fall
 //     back to local compute. Throughput suffers, correctness does not.
-//   - Slow app: a lease that outlives its TTL is reassigned and the
-//     app may be analyzed twice; the first report to arrive is folded,
-//     the other is a counted duplicate. Size LeaseTTL well above the
-//     per-app timeout to make this rare.
+//     Shards hosted on longi.DirStore additionally survive coordinator
+//     restarts and failovers (temp+rename appends; a corrupt artifact
+//     decodes as a miss, never a poisoned result).
 package dist
 
 import "ppchecker/internal/stream"
@@ -56,11 +68,19 @@ import "ppchecker/internal/stream"
 //
 //	POST /lease    LeaseRequest -> 200 LeaseResponse | 204 no work yet
 //	               (retry after a short poll) | 410 run complete
+//	POST /renew    RenewRequest -> 200 RenewResponse (heartbeat for a
+//	               held lease; OK false once the lease is gone)
 //	POST /report   ReportRequest -> 200 ReportResponse
 //	GET  /stats    StatsResponse
 //	GET  /config   ConfigResponse
+//	GET  /status   StatusResponse (primary or standby role)
+//	POST /promote  standby only: promote to primary (see Standby)
 //	GET  /healthz  200 once serving
 //	*    /shard/<i>/artifact/<stage>/<key>  the hosted artifact shards
+//
+// A standby answers the work endpoints (/lease, /renew, /report) with
+// 503 until promoted; workers treat any non-OK lease response as a cue
+// to rotate their coordinator address list.
 
 // LeaseRequest asks for one unit of work.
 type LeaseRequest struct {
@@ -81,6 +101,25 @@ type LeaseResponse struct {
 	// TTLMillis is the lease deadline; a report arriving later may
 	// find the item re-leased to another worker.
 	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// RenewRequest heartbeats one held lease (POST /renew). Renewing
+// workers send it every TTL/3 for as long as the analysis runs.
+type RenewRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+}
+
+// RenewResponse answers a heartbeat.
+type RenewResponse struct {
+	// OK: the lease was live and its deadline was extended by a full
+	// TTL. False: the coordinator no longer holds the lease — it
+	// expired and was reassigned, or a promoted standby never granted
+	// it. The worker stops renewing but finishes the analysis; the
+	// first report to arrive wins the fold either way.
+	OK bool `json:"ok"`
+	// TTLMillis echoes the (possibly reconfigured) lease TTL.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
 }
 
 // ReportRequest delivers one finished app.
@@ -132,14 +171,34 @@ type StatsResponse struct {
 	Replayed   int `json:"replayed"`
 	Reanalyzed int `json:"reanalyzed"`
 	// Lease accounting.
-	Granted     int64 `json:"granted"`
-	Reports     int64 `json:"reports"`
-	Expired     int64 `json:"expired"`
-	Duplicates  int64 `json:"duplicates"`
-	Outstanding int   `json:"outstanding"`
-	Pending     int   `json:"pending"`
+	Granted    int64 `json:"granted"`
+	Reports    int64 `json:"reports"`
+	Expired    int64 `json:"expired"`
+	Duplicates int64 `json:"duplicates"`
+	// Renewals counts accepted heartbeats; RenewalsDenied counts
+	// heartbeats for leases the coordinator no longer held (already
+	// expired, or granted by a dead predecessor).
+	Renewals       int64 `json:"renewals"`
+	RenewalsDenied int64 `json:"renewals_denied"`
+	Outstanding    int   `json:"outstanding"`
+	Pending        int   `json:"pending"`
 	// OutstandingByWorker maps worker name to its live lease count
 	// (the crash soak uses it to kill a worker that provably holds
 	// work).
 	OutstandingByWorker map[string]int `json:"outstanding_by_worker,omitempty"`
+}
+
+// StatusResponse describes a coordinator's role (GET /status).
+type StatusResponse struct {
+	// Role is "primary" (serving leases) or "standby" (tailing the
+	// journal, work endpoints answer 503).
+	Role string `json:"role"`
+	// TailedRecords is how many journal app records a standby has
+	// folded into its follower replay so far (standby only).
+	TailedRecords int `json:"tailed_records,omitempty"`
+	// TailError surfaces a follower-side tail failure (standby only);
+	// promotion still works — it re-reads the journal authoritatively.
+	TailError string `json:"tail_error,omitempty"`
+	// Promoted marks a coordinator that started life as a standby.
+	Promoted bool `json:"promoted,omitempty"`
 }

@@ -14,6 +14,7 @@ import (
 	"ppchecker/internal/core"
 	"ppchecker/internal/esa"
 	"ppchecker/internal/eval"
+	"ppchecker/internal/longi"
 	"ppchecker/internal/obs"
 	"ppchecker/internal/stream"
 )
@@ -22,10 +23,23 @@ import (
 type WorkerOptions struct {
 	// Coordinator is the coordinator's base URL (http://host:port).
 	Coordinator string
+	// Coordinators is the full coordinator address list — the primary
+	// first, standbys after. On a transport error or a not-primary
+	// response the worker rotates to the next address with its usual
+	// poll backoff, so a promoted standby picks up the fleet without
+	// worker restarts. Empty means just Coordinator.
+	Coordinators []string
 	// Name identifies this worker in leases and /stats.
 	Name string
 	// Concurrency is how many apps to analyze at once; <= 0 means 1.
 	Concurrency int
+
+	// RenewLeases turns on mid-app heartbeats: each held lease is
+	// renewed (POST /renew) every TTL/3 until its report is sent, so a
+	// slow app no longer needs LeaseTTL sized above the worst case —
+	// the TTL becomes a failure detector, not a latency bound. Off, a
+	// lease must outlive the whole analysis.
+	RenewLeases bool
 
 	// Per-attempt bounds, eval.RunOptions semantics.
 	PerAppTimeout   time.Duration
@@ -80,6 +94,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.CacheNamespace == "" {
 		o.CacheNamespace = "default"
 	}
+	if len(o.Coordinators) == 0 {
+		o.Coordinators = []string{o.Coordinator}
+	}
 	return o
 }
 
@@ -99,6 +116,62 @@ type WorkerStats struct {
 	// read-through counters (zero with UseRemoteCache off).
 	RemoteHits  int64
 	RemoteFails int64
+	// Renewals counts accepted lease heartbeats; RenewalsLost counts
+	// leases the coordinator stopped tracking mid-app (expired before
+	// a heartbeat landed, or lost across a failover) — the worker
+	// finishes anyway and lets first-report-wins decide.
+	Renewals     int64
+	RenewalsLost int64
+}
+
+// coordSet is the worker's view of the coordinator address list: an
+// immutable URL ring plus the index currently believed primary.
+// rotate compare-and-swaps from the failing index so concurrent
+// goroutines observing the same failure advance the ring once, not
+// once each.
+type coordSet struct {
+	urls []string
+	cur  atomic.Int32
+}
+
+func newCoordSet(urls []string) *coordSet { return &coordSet{urls: urls} }
+
+// snapshot returns the current index and its base URL; callers pass
+// the index back to rotate on failure.
+func (s *coordSet) snapshot() (int32, string) {
+	i := s.cur.Load()
+	return i, s.urls[i]
+}
+
+func (s *coordSet) base() string {
+	return s.urls[s.cur.Load()]
+}
+
+func (s *coordSet) rotate(from int32) {
+	if len(s.urls) > 1 {
+		s.cur.CompareAndSwap(from, (from+1)%int32(len(s.urls)))
+	}
+}
+
+// followerStore is a longi.Store over one hosted shard that always
+// addresses the worker's current coordinator, so the remote cache tier
+// follows a failover instead of dying with the old primary. Shard
+// *identity* (the ring position) is the index i, which both
+// coordinators host identically; only the base URL floats.
+type followerStore struct {
+	set    *coordSet
+	shard  int
+	client *http.Client
+}
+
+func (f followerStore) Get(stage, key string) ([]byte, bool, error) {
+	url := fmt.Sprintf("%s/shard/%d", f.set.base(), f.shard)
+	return longi.NewHTTPStore(url, f.client).Get(stage, key)
+}
+
+func (f followerStore) Put(stage, key string, data []byte) error {
+	url := fmt.Sprintf("%s/shard/%d", f.set.base(), f.shard)
+	return longi.NewHTTPStore(url, f.client).Put(stage, key, data)
 }
 
 // RunWorker pulls leases from a coordinator until the run completes
@@ -107,23 +180,47 @@ type WorkerStats struct {
 // state, so killing it costs only its outstanding leases.
 func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 	opts = opts.withDefaults()
+	set := newCoordSet(opts.Coordinators)
 
-	// Discover the shard layout and build the shared-cache tier.
+	// Discover the shard layout. A standby answers /config too, so any
+	// address in the list will do; rotate through them on failure (the
+	// primary may be mid-failover when the worker starts).
 	var cfg ConfigResponse
-	if err := getJSON(ctx, opts.Client, opts.Coordinator+"/config", &cfg); err != nil {
-		return WorkerStats{}, fmt.Errorf("dist: coordinator config: %w", err)
+	var cfgErr error
+	for attempt := 0; attempt < 2*len(set.urls); attempt++ {
+		idx, base := set.snapshot()
+		if cfgErr = getJSON(ctx, opts.Client, base+"/config", &cfg); cfgErr == nil {
+			break
+		}
+		set.rotate(idx)
+		if !sleepCtx(ctx, opts.PollInterval) {
+			break
+		}
+	}
+	if cfgErr != nil {
+		return WorkerStats{}, fmt.Errorf("dist: coordinator config: %w", cfgErr)
 	}
 	libCache := core.NewAnalysisCache()
 	if opts.UseRemoteCache && cfg.Shards > 0 {
-		urls := make([]string, cfg.Shards)
-		for i := range urls {
-			urls[i] = fmt.Sprintf("%s/shard/%d", opts.Coordinator, i)
+		// Shard identity on the ring is the index, not the URL, so the
+		// key→shard mapping is stable across a coordinator failover.
+		shards := make([]longi.Store, cfg.Shards)
+		names := make([]string, cfg.Shards)
+		for i := range shards {
+			shards[i] = followerStore{set: set, shard: i, client: opts.Client}
+			names[i] = fmt.Sprintf("shard-%d", i)
 		}
-		sharded, err := NewHTTPShardedStore(urls, opts.Client, opts.Observer)
+		sharded, err := NewShardedStore(shards, names, opts.Observer)
 		if err != nil {
 			return WorkerStats{}, err
 		}
 		libCache = core.NewBackedAnalysisCache(NewBacking(sharded, opts.CacheNamespace))
+		// The ESA-interpret tier rides the same shard set under its own
+		// stage. The default index is process-global: overlapping
+		// RunWorker calls (in-process tests) race benignly — a cleared
+		// or swapped backing just degrades to local compute.
+		esa.Default().SetVecBacking(NewVecBacking(sharded, opts.CacheNamespace))
+		defer esa.Default().SetVecBacking(nil)
 	}
 
 	checkerOpts := append(append([]core.CheckerOption{}, opts.CheckerOptions...),
@@ -154,7 +251,7 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 		go func() {
 			defer wg.Done()
 			checker := core.NewChecker(checkerOpts...)
-			if err := workerLoop(ctx, opts, checker, resolver, attempt, &stats, &accepted); err != nil {
+			if err := workerLoop(ctx, opts, set, checker, resolver, attempt, &stats, &accepted); err != nil {
 				errMu.Lock()
 				if loopErr == nil {
 					loopErr = err
@@ -174,9 +271,14 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 }
 
 // workerLoop is one lease-pull goroutine.
-func workerLoop(ctx context.Context, opts WorkerOptions,
+func workerLoop(ctx context.Context, opts WorkerOptions, set *coordSet,
 	checker *core.Checker, resolver *stream.SpecResolver, attempt eval.AttemptOptions,
 	stats *WorkerStats, accepted *atomic.Int64) error {
+
+	// Renew goroutines for leases this loop holds; waited out on return
+	// so none outlive the worker.
+	var renewWG sync.WaitGroup
+	defer renewWG.Wait()
 
 	netFailures := 0
 	for {
@@ -187,12 +289,16 @@ func workerLoop(ctx context.Context, opts WorkerOptions,
 			return nil
 		}
 
-		lease, status, err := requestLease(ctx, opts)
+		idx, base := set.snapshot()
+		lease, status, err := requestLease(ctx, opts, base)
 		if err != nil {
-			// A coordinator restart or network blip: back off and
-			// retry; its journal carries the run across the gap.
+			// A coordinator restart, an unpromoted standby (503), or a
+			// network blip: rotate the address list, back off and
+			// retry; the journal carries the run across the gap. The
+			// budget is sized to outlast a probe-driven failover.
+			set.rotate(idx)
 			netFailures++
-			if netFailures >= 50 {
+			if netFailures >= 200 {
 				return fmt.Errorf("dist: coordinator unreachable: %w", err)
 			}
 			sleepCtx(ctx, opts.PollInterval)
@@ -213,7 +319,7 @@ func workerLoop(ctx context.Context, opts WorkerOptions,
 			// Unresolvable spec (e.g. the corpus dir vanished under a
 			// dir run): report failed so the run still converges
 			// instead of leasing this item forever.
-			reportOutcome(ctx, opts, stats, accepted, ReportRequest{
+			reportOutcome(ctx, opts, set, stats, accepted, ReportRequest{
 				LeaseID: lease.LeaseID, Worker: opts.Name,
 				Name: lease.Name, Hash: lease.Hash,
 				Outcome: eval.OutcomeFailed.String(),
@@ -221,11 +327,24 @@ func workerLoop(ctx context.Context, opts WorkerOptions,
 			continue
 		}
 
+		var stopRenew chan struct{}
+		if opts.RenewLeases && lease.TTLMillis > 0 {
+			stopRenew = make(chan struct{})
+			renewWG.Add(1)
+			ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+			go func(leaseID string) {
+				defer renewWG.Done()
+				renewLoop(ctx, opts, set, leaseID, ttl, stats, stopRenew)
+			}(lease.LeaseID)
+		}
 		if opts.PerAppDelay > 0 {
 			sleepCtx(ctx, opts.PerAppDelay)
 		}
 		rep, outcome, retries := eval.CheckApp(ctx, checker, item.Name, item.Run, attempt)
-		reportOutcome(ctx, opts, stats, accepted, ReportRequest{
+		if stopRenew != nil {
+			close(stopRenew)
+		}
+		reportOutcome(ctx, opts, set, stats, accepted, ReportRequest{
 			LeaseID: lease.LeaseID, Worker: opts.Name,
 			// Report the locally recomputed identity, not the wire
 			// copy — the resume contract hashes what was analyzed.
@@ -240,11 +359,53 @@ func workerLoop(ctx context.Context, opts WorkerOptions,
 	}
 }
 
-// reportOutcome delivers one report with bounded transport retries. A
-// report that cannot be delivered is dropped: the lease expires and the
-// app is reanalyzed elsewhere, which the dedup map keeps single-fold.
-func reportOutcome(ctx context.Context, opts WorkerOptions, stats *WorkerStats,
-	accepted *atomic.Int64, req ReportRequest) {
+// renewLoop heartbeats one held lease every TTL/3 until stopped. A
+// transport failure rotates the coordinator list (the primary may be
+// gone); an OK:false answer means the lease is no longer tracked —
+// renewal stops, the analysis continues, and first-report-wins
+// resolves the race.
+func renewLoop(ctx context.Context, opts WorkerOptions, set *coordSet,
+	leaseID string, ttl time.Duration, stats *WorkerStats, stop <-chan struct{}) {
+	tick := time.NewTicker(renewInterval(ttl))
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		idx, base := set.snapshot()
+		var resp RenewResponse
+		err := postJSON(ctx, opts.Client, base+"/renew", RenewRequest{
+			LeaseID: leaseID, Worker: opts.Name,
+		}, &resp)
+		switch {
+		case err != nil:
+			set.rotate(idx)
+		case !resp.OK:
+			// A denial racing our own just-sent report is not a lost
+			// lease — the report won, the app is folded. Only count the
+			// denial when the app is still in flight.
+			select {
+			case <-stop:
+			default:
+				atomic.AddInt64(&stats.RenewalsLost, 1)
+			}
+			return
+		default:
+			atomic.AddInt64(&stats.Renewals, 1)
+		}
+	}
+}
+
+// reportOutcome delivers one report with bounded transport retries,
+// rotating the coordinator list between attempts. A report that cannot
+// be delivered is dropped: the lease expires and the app is reanalyzed
+// elsewhere, which the dedup map keeps single-fold.
+func reportOutcome(ctx context.Context, opts WorkerOptions, set *coordSet,
+	stats *WorkerStats, accepted *atomic.Int64, req ReportRequest) {
 	// Even when ctx is dying (outcome "skipped"), try to hand the
 	// lease back promptly so the coordinator requeues without waiting
 	// out the TTL.
@@ -256,11 +417,13 @@ func reportOutcome(ctx context.Context, opts WorkerOptions, stats *WorkerStats,
 	}
 	var resp ReportResponse
 	var err error
-	for attempt := 0; attempt < 5; attempt++ {
-		err = postJSON(rctx, opts.Client, opts.Coordinator+"/report", req, &resp)
+	for attempt := 0; attempt < 5*len(set.urls); attempt++ {
+		idx, base := set.snapshot()
+		err = postJSON(rctx, opts.Client, base+"/report", req, &resp)
 		if err == nil {
 			break
 		}
+		set.rotate(idx)
 		if !sleepCtx(rctx, opts.PollInterval) {
 			break
 		}
@@ -277,10 +440,10 @@ func reportOutcome(ctx context.Context, opts WorkerOptions, stats *WorkerStats,
 }
 
 // requestLease POSTs /lease. status is 200 (lease valid), 204 or 410.
-func requestLease(ctx context.Context, opts WorkerOptions) (*LeaseResponse, int, error) {
+func requestLease(ctx context.Context, opts WorkerOptions, base string) (*LeaseResponse, int, error) {
 	body, _ := json.Marshal(LeaseRequest{Worker: opts.Name})
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		opts.Coordinator+"/lease", bytes.NewReader(body))
+		base+"/lease", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultThreshold is the similarity threshold the paper adopts.
@@ -31,6 +32,10 @@ type Index struct {
 	memo    interpretMemo
 	scratch sync.Pool
 	cells   cacheCells
+
+	// backing is the optional remote interpret tier (see SetVecBacking
+	// in backing.go); zero value means none.
+	backing atomic.Pointer[vecBackingBox]
 }
 
 type posting struct {
@@ -169,11 +174,7 @@ func (x *Index) ClassifyWithSupportScoped(text string, sc *StatScope) (string, f
 		x.count(sc, func(c *cacheCells) { c.hits.Add(1) })
 	} else {
 		x.count(sc, func(c *cacheCells) { c.misses.Add(1) })
-		terms = Terms(text)
-		v = x.buildVec(terms, sc)
-		if len(text) <= memoMaxKeyLen && x.memo.put(text, v) {
-			x.count(sc, func(c *cacheCells) { c.evictions.Add(1) })
-		}
+		v, terms = x.missVec(text, sc)
 	}
 	best := top(v)
 	if best < 0 || v.norm == 0 {

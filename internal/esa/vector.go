@@ -93,16 +93,22 @@ type CacheStats struct {
 	// PoolGets counts scratch-buffer checkouts; PoolNews the subset
 	// that allocated a fresh buffer.
 	PoolGets, PoolNews int64
+	// RemoteHits counts memo misses served by the remote tier (see
+	// VecBacking); RemoteFails counts remote payloads rejected as
+	// corrupt plus encode failures. Zero without a backing.
+	RemoteHits, RemoteFails int64
 }
 
 // Sub returns the element-wise difference s - prev.
 func (s CacheStats) Sub(prev CacheStats) CacheStats {
 	return CacheStats{
-		Hits:      s.Hits - prev.Hits,
-		Misses:    s.Misses - prev.Misses,
-		Evictions: s.Evictions - prev.Evictions,
-		PoolGets:  s.PoolGets - prev.PoolGets,
-		PoolNews:  s.PoolNews - prev.PoolNews,
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		Evictions:   s.Evictions - prev.Evictions,
+		PoolGets:    s.PoolGets - prev.PoolGets,
+		PoolNews:    s.PoolNews - prev.PoolNews,
+		RemoteHits:  s.RemoteHits - prev.RemoteHits,
+		RemoteFails: s.RemoteFails - prev.RemoteFails,
 	}
 }
 
@@ -118,15 +124,18 @@ func (s CacheStats) HitRate() float64 {
 type cacheCells struct {
 	hits, misses, evictions atomic.Int64
 	poolGets, poolNews      atomic.Int64
+	remoteHits, remoteFails atomic.Int64
 }
 
 func (c *cacheCells) snapshot() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		PoolGets:  c.poolGets.Load(),
-		PoolNews:  c.poolNews.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		PoolGets:    c.poolGets.Load(),
+		PoolNews:    c.poolNews.Load(),
+		RemoteHits:  c.remoteHits.Load(),
+		RemoteFails: c.remoteFails.Load(),
 	}
 }
 
@@ -280,18 +289,14 @@ func (x *Index) InterpretVec(text string) *ConceptVec {
 // are additionally counted on sc. A nil scope makes it identical to
 // InterpretVec.
 func (x *Index) InterpretVecScoped(text string, sc *StatScope) *ConceptVec {
-	memoize := len(text) <= memoMaxKeyLen
-	if memoize {
+	if len(text) <= memoMaxKeyLen {
 		if v, ok := x.memo.get(text); ok {
 			x.count(sc, func(c *cacheCells) { c.hits.Add(1) })
 			return v
 		}
 	}
 	x.count(sc, func(c *cacheCells) { c.misses.Add(1) })
-	v := x.buildVec(Terms(text), sc)
-	if memoize && x.memo.put(text, v) {
-		x.count(sc, func(c *cacheCells) { c.evictions.Add(1) })
-	}
+	v, _ := x.missVec(text, sc)
 	return v
 }
 
@@ -338,4 +343,3 @@ func (x *Index) buildVec(terms []string, sc *StatScope) *ConceptVec {
 	x.scratch.Put(sp)
 	return v
 }
-

@@ -3,10 +3,10 @@
 # the race detector to prove the synchronization fixes hold: the
 # stream backpressure/soak/journal tests, the serve admission/drain
 # tests, the concurrency hammers for frozen-graph reads and pooled
-# per-app arena reuse, and the distributed-tier lease/expiry tests run
-# COUNT times each (50 by default, override with COUNT=n or $1); the
-# multi-process dist SIGKILL soak runs COUNT/10 times. Any single
-# failure fails the script.
+# per-app arena reuse, and the distributed-tier lease/renewal/failover
+# tests run COUNT times each (50 by default, override with COUNT=n or
+# $1); the multi-process dist SIGKILL soak and the chaos suite (short
+# subset) run COUNT/10 times. Any single failure fails the script.
 #
 #   scripts/deflake_stress.sh          # 50 iterations
 #   COUNT=200 scripts/deflake_stress.sh
@@ -28,13 +28,20 @@ go test ./internal/graphdb/ ./internal/core/ -race -count="${COUNT}" \
     -run 'TestFrozenConcurrentReads|TestCheckSafeConcurrentArenaReuse'
 
 # The distributed tier's timing-sensitive surfaces: lease expiry +
-# reassignment + duplicate rejection, and the multi-process SIGKILL
-# soak (spawns child worker processes, so it gets a smaller count).
+# reassignment + duplicate rejection, the renewal heartbeat protocol
+# (slow-app survival, late-renewal denial, sweep-clock latency), and
+# standby promotion.
 go test ./internal/dist/ -race -count="${COUNT}" \
-    -run 'TestLeaseExpiryReassignsAndDeduplicates|TestCoordinatorBitIdenticalToStreamRun'
+    -run 'TestLeaseExpiryReassignsAndDeduplicates|TestCoordinatorBitIdenticalToStreamRun|TestRenewalKeepsSlowAppAlive|TestNoRenewalReassignsSlowApp|TestLateRenewalCannotReviveExpiredLease|TestExpiryLatencyBounded|TestStandbyPromotionResumesBitIdentical'
+
+# The multi-process hammers spawn child worker processes per scenario,
+# so they get a smaller count: the SIGKILL soak and the randomized
+# chaos suite (short subset: >=1 failover + >=1 renewal-drop each run).
 DIST_SOAK_COUNT=$(( COUNT / 10 ))
 [ "${DIST_SOAK_COUNT}" -lt 1 ] && DIST_SOAK_COUNT=1
 go test ./internal/dist/ -race -count="${DIST_SOAK_COUNT}" \
     -run 'TestDistCrashSoakBitIdentical'
+go test ./internal/dist/ -race -count="${DIST_SOAK_COUNT}" -short \
+    -run 'TestDistChaosSuite'
 
 echo "deflake stress: all ${COUNT} iterations passed"
